@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Ablation: the sampling design choices of Sec. 3.
+ *
+ * (1) Observer-effect compensation ("do no harm"): measure the CPI
+ *     bias of the sampled timelines against the kernel's exact
+ *     per-request accounting, with compensation on and off, across
+ *     sampling periods. The paper's design subtracts the minimum
+ *     (Mbench-Spin) per-sample effect; the ablation shows how much
+ *     bias that removes and that it never over-compensates.
+ *
+ * (2) App-specific sampling periods: sweep the interrupt period for
+ *     one application and show the overhead / captured-variation
+ *     trade-off that justifies the paper's 10 us / 100 us / 1 ms
+ *     choices.
+ */
+
+#include <iostream>
+
+#include "exp/analysis.hh"
+#include "exp/cli.hh"
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+#include "stats/table.hh"
+
+using namespace rbv;
+using namespace rbv::exp;
+
+namespace {
+
+/** Overall CPI (total cycles / total instructions) of a record set. */
+double
+overallCpi(const std::vector<RequestRecord> &records)
+{
+    return overallMetric(records, core::Metric::Cpi);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const std::uint64_t seed = cli.getU64("seed", 1);
+    const std::size_t requests =
+        static_cast<std::size_t>(cli.getInt("requests", 500));
+
+    banner("Ablation", "Sampling design choices (Sec. 3)",
+           "compensation removes the observer-effect bias without "
+           "over-compensating; finer periods buy variation capture "
+           "with super-linear overhead");
+
+    // --- (1) Compensation on/off across periods (web server) -------
+    // Ground truth: the same workload run with observer-cost
+    // injection disabled entirely (no sampling perturbation). The
+    // "measured" CPI of each variant comes from its sampled
+    // timelines; its bias against the unperturbed truth is what
+    // compensation exists to remove.
+    std::cout << "(1) observer-effect compensation (web server; "
+                 "signed bias of the sampled overall CPI vs an "
+                 "unperturbed run):\n";
+    stats::Table t1({"period", "bias uncompensated",
+                     "bias compensated"});
+    for (double period_us : {5.0, 10.0, 20.0, 50.0}) {
+        ScenarioConfig base;
+        base.app = wl::App::WebServer;
+        base.seed = seed;
+        base.requests = requests;
+        base.warmup = requests / 10;
+        base.samplingPeriodUs = period_us;
+        // Single core: contention coupling would otherwise let the
+        // sampling perturbation shift the co-runner mix and bury the
+        // observer effect in scheduling noise.
+        base.numCores = 1;
+
+        ScenarioConfig truth_cfg = base;
+        truth_cfg.injectObserverCost = false;
+        const double truth =
+            overallCpi(runScenario(truth_cfg).records);
+
+        double bias[2] = {0.0, 0.0};
+        for (int comp = 0; comp < 2; ++comp) {
+            ScenarioConfig cfg = base;
+            cfg.compensate = comp == 1;
+            const auto res = runScenario(cfg);
+            double cycles = 0.0, ins = 0.0;
+            for (const auto &r : res.records) {
+                cycles += r.timeline.totalCycles();
+                ins += r.timeline.totalInstructions();
+            }
+            bias[comp] = (cycles / ins - truth) / truth;
+        }
+        t1.addRow({stats::Table::fmt(period_us, 0) + " us",
+                   stats::Table::pct(bias[0], 2),
+                   stats::Table::pct(bias[1], 2)});
+    }
+    t1.print(std::cout);
+    measured("the uncompensated bias grows as the period shrinks "
+             "(more samples per instruction); compensation must "
+             "remove most of it and stay non-negative on average "
+             "(\"do no harm\")");
+
+    // --- (2) Period sweep: overhead vs captured variation ----------
+    std::cout << "\n(2) sampling-period trade-off (TPCC):\n";
+    stats::Table t2({"period", "overhead (CPU)", "captured CoV",
+                     "samples"});
+    for (double period_us : {10.0, 50.0, 100.0, 500.0, 2000.0}) {
+        ScenarioConfig cfg;
+        cfg.app = wl::App::Tpcc;
+        cfg.seed = seed;
+        cfg.requests = requests / 2;
+        cfg.warmup = requests / 20;
+        cfg.samplingPeriodUs = period_us;
+        const auto res = runScenario(cfg);
+        t2.addRow({stats::Table::fmt(period_us, 0) + " us",
+                   stats::Table::pct(res.samplingOverheadFraction(),
+                                     3),
+                   stats::Table::fmt(
+                       periodsCov(res.records, core::Metric::Cpi)),
+                   std::to_string(res.samplerStats.totalSamples())});
+    }
+    t2.print(std::cout);
+    measured("overhead scales ~1/period while the captured CoV "
+             "saturates: the paper's app-specific periods sit at the "
+             "knee for each request granularity");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Figure 7: request classification quality under the five
+ * differencing measures, evaluated as cluster members' divergence
+ * from their cluster centroids on (A) request CPU execution time and
+ * (B) request peak (90-percentile) CPI. k-medoids with k = 10.
+ *
+ * Paper findings:
+ *  - DTW with asynchrony penalty achieves the best quality overall;
+ *    without the penalty, plain DTW can classify very poorly
+ *    (no-cost time shifting under-estimates differences);
+ *  - Levenshtein over syscall sequences is relatively poor (blind to
+ *    dynamic hardware effects);
+ *  - average-CPI signatures do well on the peak-CPI target but
+ *    poorly on CPU time;
+ *  - L1 is slightly worse than DTW+penalty but much cheaper.
+ */
+
+#include <iostream>
+
+#include "core/model/distance.hh"
+#include "core/model/kmedoids.hh"
+#include "exp/analysis.hh"
+#include "exp/cli.hh"
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+#include "stats/table.hh"
+
+using namespace rbv;
+using namespace rbv::exp;
+
+namespace {
+
+std::size_t
+defaultRequests(wl::App app)
+{
+    switch (app) {
+      case wl::App::Tpch: return 150;
+      case wl::App::WebWork: return 100;
+      default: return 240;
+    }
+}
+
+/** All five measures in the paper's legend order. */
+const core::Measure AllMeasures[] = {
+    core::Measure::LevenshteinSyscalls,
+    core::Measure::AvgMetric,
+    core::Measure::L1,
+    core::Measure::Dtw,
+    core::Measure::DtwAsyncPenalty,
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const std::uint64_t seed = cli.getU64("seed", 1);
+    const std::size_t k = static_cast<std::size_t>(cli.getInt("k", 10));
+
+    banner("Figure 7", "Request classification quality "
+           "(divergence from centroid; lower is better)",
+           "DTW+asynchrony penalty best everywhere; plain DTW very "
+           "poor; Levenshtein poor; avg-CPI good on peak CPI only");
+
+    stats::Table ta({"application", "Levenshtein", "AvgCPI", "L1",
+                     "DTW", "DTW+penalty"});
+    stats::Table tb = ta;
+
+    for (wl::App app : wl::allApps()) {
+        ScenarioConfig cfg;
+        cfg.app = app;
+        cfg.seed = seed;
+        cfg.requests = static_cast<std::size_t>(cli.getInt(
+            "requests", static_cast<long>(defaultRequests(app))));
+        cfg.warmup = cfg.requests / 10;
+        const auto res = runScenario(cfg);
+
+        const double bin = defaultBinIns(res.records, 60);
+        const auto series =
+            seriesFor(res.records, core::Metric::Cpi, bin);
+        stats::Rng prng(seed);
+        const double penalty = core::lengthPenalty(series, prng);
+
+        const auto cpu = requestCpuCycles(res.records);
+        const auto peak = requestPeakCpis(res.records);
+
+        std::vector<std::string> row_a = {wl::appDisplayName(app)};
+        std::vector<std::string> row_b = {wl::appDisplayName(app)};
+
+        for (core::Measure m : AllMeasures) {
+            auto dist = [&](std::size_t i,
+                            std::size_t j) -> double {
+                switch (m) {
+                  case core::Measure::LevenshteinSyscalls:
+                    return core::levenshteinDistance(
+                        res.records[i].syscalls,
+                        res.records[j].syscalls, 256);
+                  case core::Measure::AvgMetric:
+                    return core::avgMetricDistance(series[i],
+                                                   series[j]);
+                  case core::Measure::L1:
+                    return core::l1Distance(series[i], series[j],
+                                            penalty);
+                  case core::Measure::Dtw:
+                    return core::dtwDistance(series[i], series[j]);
+                  case core::Measure::DtwAsyncPenalty:
+                    return core::dtwDistance(series[i], series[j],
+                                             penalty);
+                }
+                return 0.0;
+            };
+
+            const auto dm =
+                core::DistanceMatrix::build(series.size(), dist);
+            stats::Rng crng(seed + 99);
+            const auto cl = core::kMedoids(dm, k, crng);
+
+            row_a.push_back(stats::Table::pct(
+                core::divergenceFromCentroid(cl, cpu), 1));
+            row_b.push_back(stats::Table::pct(
+                core::divergenceFromCentroid(cl, peak), 1));
+        }
+        ta.addRow(row_a);
+        tb.addRow(row_b);
+    }
+
+    std::cout << "(A) divergence on request CPU execution time:\n";
+    ta.print(std::cout);
+    std::cout << "\n(B) divergence on request 90-percentile CPI:\n";
+    tb.print(std::cout);
+    std::cout << "\n";
+    measured("DTW+penalty should have the lowest divergence in most "
+             "cells; plain DTW and Levenshtein the highest");
+    return 0;
+}

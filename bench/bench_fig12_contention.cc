@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Figure 12: effectiveness of contention-easing request scheduling
+ * for TPCH and WeBWorK — the proportion of execution time during
+ * which multiple CPU cores simultaneously execute at high resource
+ * usage levels (L2 misses/instruction above the workload's
+ * 80-percentile), under the original scheduler and the
+ * contention-easing scheduler.
+ *
+ * Paper finding: the most intensive contention periods (all four
+ * cores simultaneously high) shrink by around 25% for both
+ * applications; milder contention shrinks less.
+ */
+
+#include <iostream>
+
+#include "core/sched/contention.hh"
+#include "exp/analysis.hh"
+#include "exp/cli.hh"
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+#include "stats/table.hh"
+
+using namespace rbv;
+using namespace rbv::exp;
+
+namespace {
+
+struct AvgContention
+{
+    double ge2 = 0.0, ge3 = 0.0, eq4 = 0.0;
+};
+
+AvgContention
+runSet(wl::App app, bool easing, double threshold, std::uint64_t seed,
+       std::size_t requests, int runs)
+{
+    AvgContention acc;
+    for (int r = 0; r < runs; ++r) {
+        ScenarioConfig cfg;
+        cfg.app = app;
+        cfg.seed = seed + static_cast<std::uint64_t>(r) * 1000;
+        cfg.requests = requests;
+        cfg.warmup = requests / 10;
+        cfg.concurrency = app == wl::App::Tpch ? 12 : 16;
+        cfg.monitorThreshold = threshold;
+        if (easing) {
+            // The policy compares smoothed (vaEWMA) predictions
+            // against the threshold; since smoothing pulls spiky
+            // period values toward their local mean, the comparable
+            // prediction-side threshold sits below the raw
+            // 80-percentile of period values.
+            auto policy =
+                std::make_shared<core::ContentionEasingPolicy>(
+                    core::ContentionConfig{0.7 * threshold,
+                                           sim::msToCycles(5.0), 0.6,
+                                           static_cast<double>(
+                                               sim::msToCycles(1.0))});
+            cfg.policy = policy;
+            cfg.onSamplerReady = [policy](os::Kernel &k,
+                                          core::Sampler &s) {
+                policy->attachSampler(k, s);
+            };
+        }
+        const auto res = runScenario(cfg);
+        acc.ge2 += res.contention.fractionAtLeast(2);
+        acc.ge3 += res.contention.fractionAtLeast(3);
+        acc.eq4 += res.contention.fractionAtLeast(4);
+    }
+    acc.ge2 /= runs;
+    acc.ge3 /= runs;
+    acc.eq4 /= runs;
+    return acc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const std::uint64_t seed = cli.getU64("seed", 1);
+    const int runs = static_cast<int>(cli.getInt("runs", 5));
+
+    banner("Figure 12", "Contention-easing scheduling: simultaneous "
+           "high-resource-usage execution time",
+           "the all-4-cores-high proportion drops by ~25% under "
+           "contention-easing scheduling for TPCH and WeBWorK");
+
+    stats::Table t({"application", "scheduler", ">=2 cores",
+                    ">=3 cores", "4 cores", "4-core reduction"});
+
+    for (wl::App app : {wl::App::Tpch, wl::App::WebWork}) {
+        const std::size_t requests = static_cast<std::size_t>(
+            cli.getInt("requests", app == wl::App::Tpch ? 300 : 160));
+
+        // Calibrate the 80-percentile threshold from a baseline run.
+        double threshold;
+        {
+            ScenarioConfig cal;
+            cal.app = app;
+            cal.seed = seed + 7;
+            cal.requests = requests / 2;
+            cal.warmup = cal.requests / 10;
+            cal.concurrency = app == wl::App::Tpch ? 12 : 16;
+            const auto res = runScenario(cal);
+            threshold = missesPerInsQuantile(res.records, 0.80);
+        }
+
+        const auto orig =
+            runSet(app, false, threshold, seed, requests, runs);
+        const auto eased =
+            runSet(app, true, threshold, seed, requests, runs);
+
+        t.addRow({wl::appDisplayName(app), "original",
+                  stats::Table::pct(orig.ge2, 1),
+                  stats::Table::pct(orig.ge3, 1),
+                  stats::Table::pct(orig.eq4, 2), "-"});
+        t.addRow({wl::appDisplayName(app), "contention easing",
+                  stats::Table::pct(eased.ge2, 1),
+                  stats::Table::pct(eased.ge3, 1),
+                  stats::Table::pct(eased.eq4, 2),
+                  stats::Table::pct(
+                      1.0 - eased.eq4 / std::max(orig.eq4, 1e-9),
+                      0)});
+        std::cout << wl::appDisplayName(app)
+                  << ": 80-pct misses/ins threshold = "
+                  << stats::Table::fmt(threshold * 1e3, 3)
+                  << "e-3\n";
+    }
+
+    std::cout << "\n";
+    t.print(std::cout);
+    std::cout << "\n";
+    measured("the '4 cores' column should shrink by roughly a "
+             "quarter under contention easing; complete elimination "
+             "is impossible (prediction errors, sub-quantum "
+             "variation)");
+    return 0;
+}

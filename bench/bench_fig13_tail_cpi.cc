@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 13: request CPI under contention-easing CPU scheduling for
+ * TPCH and WeBWorK — average and worst-case (99 and 99.9 percentile)
+ * request CPI under the original and contention-easing schedulers.
+ *
+ * Paper finding: contention easing reduces the worst-case request
+ * CPI by around 10% but does little for the average (the policy
+ * targets the rare, most intensive contention, and service-level
+ * agreements care about exactly those high percentiles).
+ */
+
+#include <iostream>
+
+#include "core/sched/contention.hh"
+#include "exp/analysis.hh"
+#include "exp/cli.hh"
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+using namespace rbv;
+using namespace rbv::exp;
+
+namespace {
+
+struct CpiSummary
+{
+    double avg = 0.0, p99 = 0.0, p999 = 0.0;
+};
+
+CpiSummary
+runSet(wl::App app, bool easing, double threshold, std::uint64_t seed,
+       std::size_t requests, int runs)
+{
+    std::vector<double> cpis;
+    for (int r = 0; r < runs; ++r) {
+        ScenarioConfig cfg;
+        cfg.app = app;
+        cfg.seed = seed + static_cast<std::uint64_t>(r) * 1000;
+        cfg.requests = requests;
+        cfg.warmup = requests / 10;
+        cfg.concurrency = app == wl::App::Tpch ? 12 : 16;
+        if (easing) {
+            // The policy compares smoothed (vaEWMA) predictions
+            // against the threshold; since smoothing pulls spiky
+            // period values toward their local mean, the comparable
+            // prediction-side threshold sits below the raw
+            // 80-percentile of period values.
+            auto policy =
+                std::make_shared<core::ContentionEasingPolicy>(
+                    core::ContentionConfig{0.7 * threshold,
+                                           sim::msToCycles(5.0), 0.6,
+                                           static_cast<double>(
+                                               sim::msToCycles(1.0))});
+            cfg.policy = policy;
+            cfg.onSamplerReady = [policy](os::Kernel &k,
+                                          core::Sampler &s) {
+                policy->attachSampler(k, s);
+            };
+        }
+        const auto res = runScenario(cfg);
+        const auto c = requestCpis(res.records);
+        cpis.insert(cpis.end(), c.begin(), c.end());
+    }
+    CpiSummary out;
+    out.avg = stats::mean(cpis);
+    out.p99 = stats::quantile(cpis, 0.99);
+    out.p999 = stats::quantile(cpis, 0.999);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const std::uint64_t seed = cli.getU64("seed", 1);
+    const int runs = static_cast<int>(cli.getInt("runs", 8));
+
+    banner("Figure 13", "Request CPI under contention-easing "
+           "scheduling (lower is better)",
+           "~10% reduction in worst-case (99 / 99.9 percentile) "
+           "request CPI; average essentially unchanged");
+
+    stats::Table t({"application", "scheduler", "average",
+                    "99 percentile", "99.9 percentile",
+                    "worst-case change"});
+
+    for (wl::App app : {wl::App::Tpch, wl::App::WebWork}) {
+        const std::size_t requests = static_cast<std::size_t>(
+            cli.getInt("requests", app == wl::App::Tpch ? 300 : 160));
+
+        double threshold;
+        {
+            ScenarioConfig cal;
+            cal.app = app;
+            cal.seed = seed + 7;
+            cal.requests = requests / 2;
+            cal.warmup = cal.requests / 10;
+            cal.concurrency = app == wl::App::Tpch ? 12 : 16;
+            const auto res = runScenario(cal);
+            threshold = missesPerInsQuantile(res.records, 0.80);
+        }
+
+        const auto orig =
+            runSet(app, false, threshold, seed, requests, runs);
+        const auto eased =
+            runSet(app, true, threshold, seed, requests, runs);
+
+        t.addRow({wl::appDisplayName(app), "original",
+                  stats::Table::fmt(orig.avg),
+                  stats::Table::fmt(orig.p99),
+                  stats::Table::fmt(orig.p999), "-"});
+        t.addRow({wl::appDisplayName(app), "contention easing",
+                  stats::Table::fmt(eased.avg),
+                  stats::Table::fmt(eased.p99),
+                  stats::Table::fmt(eased.p999),
+                  // Report the 99-percentile change: with ~1000
+                  // requests per run the 99.9-percentile is the top
+                  // 1-2 samples and statistically degenerate.
+                  stats::Table::pct(
+                      eased.p99 / std::max(orig.p99, 1e-9) - 1.0,
+                      1)});
+    }
+
+    t.print(std::cout);
+    std::cout << "\n";
+    measured("'worst-case change' (99.9-percentile) should be "
+             "around -10%, while the averages stay within noise");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Micro-benchmark: computation cost of the request differencing
+ * measures (Sec. 4.1-4.2).
+ *
+ * The paper notes that DTW costs O(m*n) against O(max(m,n)) for the
+ * L1 distance, making L1 "the more attractive approach when the cost
+ * of computing request differences must be kept low (particularly
+ * for online request modeling)". This bench quantifies that gap over
+ * realistic series lengths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/model/distance.hh"
+#include "stats/rng.hh"
+
+using namespace rbv;
+using namespace rbv::core;
+
+namespace {
+
+MetricSeries
+randomSeries(std::size_t n, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    MetricSeries s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back(rng.uniform(0.5, 4.0));
+    return s;
+}
+
+std::vector<os::Sys>
+randomSyscalls(std::size_t n, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    std::vector<os::Sys> s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back(static_cast<os::Sys>(
+            rng.uniformInt(static_cast<std::uint64_t>(os::NumSys))));
+    return s;
+}
+
+void
+BM_L1Distance(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSeries(n, 1);
+    const auto y = randomSeries(n + n / 10, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(l1Distance(x, y, 1.0));
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_DtwDistance(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSeries(n, 1);
+    const auto y = randomSeries(n + n / 10, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dtwDistance(x, y));
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_DtwAsyncPenalty(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSeries(n, 1);
+    const auto y = randomSeries(n + n / 10, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dtwDistance(x, y, 1.0));
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_AvgMetricDistance(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSeries(n, 1);
+    const auto y = randomSeries(n, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(avgMetricDistance(x, y));
+}
+
+void
+BM_Levenshtein(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSyscalls(n, 1);
+    const auto y = randomSyscalls(n, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(levenshteinDistance(x, y, 512));
+}
+
+} // namespace
+
+BENCHMARK(BM_L1Distance)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_DtwDistance)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_DtwAsyncPenalty)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_AvgMetricDistance)->Range(16, 1024);
+BENCHMARK(BM_Levenshtein)->Range(16, 4096);
+
+BENCHMARK_MAIN();

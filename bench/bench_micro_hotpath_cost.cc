@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Micro-benchmark: hot-path costs of the online machinery — the
+ * predictor update the scheduler runs at every sample (Sec. 5.1),
+ * partial-signature identification against a 500-entry bank
+ * (Sec. 4.4), timeline binning, and k-medoids clustering.
+ *
+ * These bound the real-time budget of online request modeling: all
+ * per-sample operations must stay far below the per-sample cost of
+ * Table 1 (~0.4-0.8 us on the paper's hardware).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/model/kmedoids.hh"
+#include "core/model/signature.hh"
+#include "core/predict/predictor.hh"
+#include "core/timeline.hh"
+#include "stats/rng.hh"
+
+using namespace rbv;
+using namespace rbv::core;
+
+namespace {
+
+void
+BM_VaEwmaObserve(benchmark::State &state)
+{
+    VaEwmaPredictor pred(0.6, 3000.0);
+    stats::Rng rng(1);
+    double t = 2500.0, x = 0.001;
+    for (auto _ : state) {
+        pred.observe(t, x);
+        benchmark::DoNotOptimize(pred.predict());
+        x += 1e-7;
+    }
+}
+
+void
+BM_SignatureBankIdentify(benchmark::State &state)
+{
+    const auto bank_size = static_cast<std::size_t>(state.range(0));
+    const auto prefix_len = static_cast<std::size_t>(state.range(1));
+    stats::Rng rng(2);
+    SignatureBank bank(1.0e5);
+    for (std::size_t i = 0; i < bank_size; ++i) {
+        MetricSeries s;
+        for (int k = 0; k < 60; ++k)
+            s.push_back(rng.uniform(0.0, 0.05));
+        bank.add(std::move(s), rng.uniform(1e6, 1e8), 0);
+    }
+    MetricSeries prefix;
+    for (std::size_t k = 0; k < prefix_len; ++k)
+        prefix.push_back(rng.uniform(0.0, 0.05));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bank.identify(prefix));
+}
+
+void
+BM_TimelineBinning(benchmark::State &state)
+{
+    const auto periods = static_cast<std::size_t>(state.range(0));
+    stats::Rng rng(3);
+    Timeline tl;
+    for (std::size_t i = 0; i < periods; ++i) {
+        Period p;
+        p.instructions = rng.uniform(5000.0, 50000.0);
+        p.cycles = p.instructions * rng.uniform(0.8, 3.0);
+        p.l2Refs = p.instructions * 0.02;
+        p.l2Misses = p.l2Refs * 0.1;
+        tl.periods.push_back(p);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            binByInstructions(tl, 1.0e5, Metric::Cpi));
+    }
+}
+
+void
+BM_KMedoids(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    stats::Rng rng(4);
+    std::vector<double> pts;
+    for (std::size_t i = 0; i < n; ++i)
+        pts.push_back(rng.uniform(0.0, 100.0));
+    const auto dm = DistanceMatrix::build(
+        n, [&](std::size_t i, std::size_t j) {
+            return std::abs(pts[i] - pts[j]);
+        });
+    for (auto _ : state) {
+        stats::Rng crng(5);
+        benchmark::DoNotOptimize(kMedoids(dm, 10, crng));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_VaEwmaObserve);
+BENCHMARK(BM_SignatureBankIdentify)
+    ->Args({100, 10})
+    ->Args({500, 10})
+    ->Args({500, 60});
+BENCHMARK(BM_TimelineBinning)->Range(64, 4096);
+BENCHMARK(BM_KMedoids)->Range(64, 512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Table 2 and the Sec. 3.2 enhancement: behavior-transition signals.
+ *
+ * Part 1 (Table 2): train the syscall-name -> CPI-change mapping for
+ * the Apache web server over 10 us windows and print the mean +/-
+ * std change per call. The paper's example rows: writev +3.66+/-2.27,
+ * lseek -1.99+/-2.42, stat -1.39+/-1.57, poll +1.22+/-2.17,
+ * shutdown +0.82+/-2.35, read +0.61+/-2.30, open -0.14+/-1.38,
+ * write -0.11+/-2.06.
+ *
+ * Part 2: sample only at the top-signal syscalls (the paper selects
+ * writev, lseek, stat, poll) with a smaller T_syscall_min so the
+ * overall frequency matches plain syscall-triggered sampling, and
+ * compare the captured CoV (paper: 0.60 -> 0.65).
+ */
+
+#include <iostream>
+
+#include "core/sampling/transition.hh"
+#include "exp/analysis.hh"
+#include "exp/cli.hh"
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+#include "stats/table.hh"
+
+using namespace rbv;
+using namespace rbv::exp;
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const std::uint64_t seed = cli.getU64("seed", 1);
+    const std::size_t requests =
+        static_cast<std::size_t>(cli.getInt("requests", 700));
+
+    banner("Table 2", "System call behavior-transition signals "
+           "(Apache web server)",
+           "writev +3.66, lseek -1.99, stat -1.39, poll +1.22, "
+           "shutdown +0.82, read +0.61, open -0.14, write -0.11 "
+           "(CPI change over 10us windows, mean +/- std)");
+
+    // --- Part 1: online training with syscall-aligned sampling ---
+    // The production sampler takes its samples at system call
+    // entries, so the sampled periods align exactly with the
+    // before/after windows of each call; training uses the same
+    // alignment (~10 us windows given the web server's call density).
+    std::vector<os::Sys> triggers;
+    {
+        ScenarioConfig cfg;
+        cfg.app = wl::App::WebServer;
+        cfg.seed = seed;
+        cfg.requests = requests;
+        cfg.warmup = requests / 10;
+        cfg.sampler = SamplerKind::Syscall;
+        cfg.minGapUs = 1.0;
+        cfg.backupUs = 50.0;
+
+        // The trainer attaches inside the scenario via the sampler
+        // hook.
+        std::unique_ptr<core::TransitionTrainer> trainer;
+        cfg.onSamplerReady = [&](os::Kernel &k, core::Sampler &s) {
+            trainer = std::make_unique<core::TransitionTrainer>(k, s);
+        };
+        (void)runScenario(cfg);
+
+        stats::Table t({"system call", "CPI change (mean±std)",
+                        "occurrences"});
+        for (const auto &sig : trainer->ranked(50)) {
+            std::string dir =
+                sig.meanChange >= 0.0 ? "Increase " : "Decrease ";
+            t.addRow({std::string(os::sysName(sig.sys)),
+                      dir +
+                          stats::Table::fmt(std::abs(sig.meanChange),
+                                            2) +
+                          " ± " + stats::Table::fmt(sig.stddev, 2),
+                      std::to_string(sig.count)});
+        }
+        t.print(std::cout);
+        triggers = trainer->selectTriggers(4, 50);
+
+        std::cout << "\nselected triggers:";
+        for (os::Sys s : triggers)
+            std::cout << " " << os::sysName(s);
+        std::cout << " (paper selects writev, lseek, stat, poll)\n\n";
+    }
+
+    // --- Part 2: targeted sampling vs plain syscall sampling ---
+    ScenarioConfig plain;
+    plain.app = wl::App::WebServer;
+    plain.seed = seed;
+    plain.requests = requests;
+    plain.warmup = requests / 10;
+    plain.sampler = SamplerKind::Syscall;
+    plain.minGapUs = 10.0;
+    plain.backupUs = 80.0;
+    const auto pr = runScenario(plain);
+
+    // Targeted sampling: only the selected triggers; smaller minimum
+    // gap so the overall frequency matches (calibrated by ratio).
+    ScenarioConfig targeted = plain;
+    targeted.sampler = SamplerKind::TransitionSignal;
+    targeted.triggers = triggers;
+    targeted.minGapUs = 2.0;
+    auto tr = runScenario(targeted);
+    for (int iter = 0; iter < 4; ++iter) {
+        const double ratio =
+            static_cast<double>(tr.samplerStats.totalSamples()) /
+            static_cast<double>(pr.samplerStats.totalSamples());
+        if (ratio > 0.92 && ratio < 1.09)
+            break;
+        targeted.minGapUs = std::max(0.25, targeted.minGapUs * ratio);
+        tr = runScenario(targeted);
+    }
+
+    const double cov_plain = periodsCov(pr.records, core::Metric::Cpi);
+    const double cov_targeted =
+        periodsCov(tr.records, core::Metric::Cpi);
+
+    stats::Table c({"sampling", "samples", "overhead",
+                    "captured CoV (CPI)"});
+    c.addRow({"all syscalls",
+              std::to_string(pr.samplerStats.totalSamples()),
+              stats::Table::pct(pr.samplingOverheadFraction(), 2),
+              stats::Table::fmt(cov_plain)});
+    c.addRow({"transition signals",
+              std::to_string(tr.samplerStats.totalSamples()),
+              stats::Table::pct(tr.samplingOverheadFraction(), 2),
+              stats::Table::fmt(cov_targeted)});
+    c.print(std::cout);
+
+    std::cout << "\n";
+    measured("targeted sampling should capture a higher CoV at "
+             "similar cost (paper: 0.60 -> 0.65)");
+
+    // --- Part 3: the paper's suggested-but-uninvestigated bigram
+    // signals ("a sequence of two or more recent system call
+    // names"). Train bigram triggers and compare against the
+    // unigram-targeted sampler at matched frequency.
+    std::vector<core::BigramTransitionSignalSampler::Bigram> bigrams;
+    {
+        ScenarioConfig cfg;
+        cfg.app = wl::App::WebServer;
+        cfg.seed = seed;
+        cfg.requests = requests;
+        cfg.warmup = requests / 10;
+        cfg.sampler = SamplerKind::Syscall;
+        cfg.minGapUs = 1.0;
+        cfg.backupUs = 50.0;
+        std::unique_ptr<core::BigramTransitionTrainer> trainer;
+        cfg.onSamplerReady = [&](os::Kernel &k, core::Sampler &s) {
+            trainer =
+                std::make_unique<core::BigramTransitionTrainer>(k, s);
+        };
+        (void)runScenario(cfg);
+        bigrams = trainer->selectTriggers(6, 50);
+
+        std::cout << "\ntop bigram signals:";
+        for (const auto &[p, c] : bigrams)
+            std::cout << " (" << os::sysName(p) << ","
+                      << os::sysName(c) << ")";
+        std::cout << "\n";
+    }
+
+    ScenarioConfig bigram_cfg = plain;
+    bigram_cfg.sampler = SamplerKind::BigramTransitionSignal;
+    bigram_cfg.bigramTriggers = bigrams;
+    bigram_cfg.minGapUs = 2.0;
+    auto br = runScenario(bigram_cfg);
+    for (int iter = 0; iter < 4; ++iter) {
+        const double ratio =
+            static_cast<double>(br.samplerStats.totalSamples()) /
+            static_cast<double>(pr.samplerStats.totalSamples());
+        if (ratio > 0.92 && ratio < 1.09)
+            break;
+        bigram_cfg.minGapUs =
+            std::max(0.25, bigram_cfg.minGapUs * ratio);
+        br = runScenario(bigram_cfg);
+    }
+
+    stats::Table c3({"sampling", "samples", "captured CoV (CPI)"});
+    c3.addRow({"unigram transition signals",
+               std::to_string(tr.samplerStats.totalSamples()),
+               stats::Table::fmt(cov_targeted)});
+    c3.addRow({"bigram transition signals",
+               std::to_string(br.samplerStats.totalSamples()),
+               stats::Table::fmt(
+                   periodsCov(br.records, core::Metric::Cpi))});
+    c3.print(std::cout);
+    measured("bigrams are the paper's proposed refinement; they "
+             "should at least match the unigram CoV at equal cost");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Anomaly detection implementation.
+ */
+
+#include "core/model/anomaly.hh"
+
+#include <algorithm>
+
+#include "core/model/distance.hh"
+#include "stats/summary.hh"
+
+namespace rbv::core {
+
+CentroidAnomaly
+detectCentroidAnomaly(const std::vector<MetricSeries> &series,
+                      double async_penalty)
+{
+    CentroidAnomaly out;
+    const std::size_t n = series.size();
+    if (n < 2)
+        return out;
+
+    const DistanceMatrix dm = DistanceMatrix::build(
+        n, [&](std::size_t i, std::size_t j) {
+            return dtwDistance(series[i], series[j], async_penalty);
+        });
+
+    // Centroid: minimal summed distance to all members.
+    std::size_t centroid = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            sum += dm.at(i, j);
+        if (best < 0.0 || sum < best) {
+            best = sum;
+            centroid = i;
+        }
+    }
+    out.centroid = centroid;
+
+    // Rank members by distance from the centroid, farthest first.
+    out.ranking.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.ranking[i] = i;
+    std::sort(out.ranking.begin(), out.ranking.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return dm.at(a, centroid) > dm.at(b, centroid);
+              });
+    out.anomaly = out.ranking.front();
+    out.distance = dm.at(out.anomaly, centroid);
+    return out;
+}
+
+MetricPairAnomaly
+detectMetricPairAnomaly(const std::vector<MetricSeries> &refs_series,
+                        const std::vector<MetricSeries> &cpi_series,
+                        double refs_penalty, double cpi_penalty)
+{
+    MetricPairAnomaly out;
+    const std::size_t n = refs_series.size();
+    if (n < 2)
+        return out;
+
+    // Normalize distances per metric by series length so the score
+    // is scale-free, then search all pairs.
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double len = static_cast<double>(
+                std::max(refs_series[i].size(), refs_series[j].size()));
+            if (len == 0.0)
+                continue;
+            const double dref =
+                dtwDistance(refs_series[i], refs_series[j],
+                            refs_penalty) /
+                len;
+            const double dcpi =
+                dtwDistance(cpi_series[i], cpi_series[j], cpi_penalty) /
+                len;
+            const double score = dcpi / (dref + 1e-9);
+            if (score > best_score) {
+                best_score = score;
+                const bool i_is_anomaly =
+                    stats::mean(cpi_series[i]) >
+                    stats::mean(cpi_series[j]);
+                out.anomaly = i_is_anomaly ? i : j;
+                out.reference = i_is_anomaly ? j : i;
+                out.refsDistance = dref;
+                out.cpiDistance = dcpi;
+                out.score = score;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace rbv::core

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Request differencing measures implementation.
+ */
+
+#include "core/model/distance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/summary.hh"
+
+namespace rbv::core {
+
+double
+l1Distance(const MetricSeries &x, const MetricSeries &y, double p)
+{
+    const std::size_t m = x.size(), n = y.size();
+    const std::size_t common = std::min(m, n);
+    double d = 0.0;
+    for (std::size_t i = 0; i < common; ++i)
+        d += std::abs(x[i] - y[i]);
+    d += static_cast<double>(m > n ? m - n : n - m) * p;
+    return d;
+}
+
+double
+dtwDistance(const MetricSeries &x, const MetricSeries &y,
+            double async_penalty)
+{
+    const std::size_t m = x.size(), n = y.size();
+    if (m == 0 || n == 0) {
+        // Degenerate: all steps are asynchronous.
+        return static_cast<double>(m + n) * async_penalty;
+    }
+
+    constexpr double Inf = std::numeric_limits<double>::infinity();
+
+    // D[i][j]: minimum warp-path distance with pointers at (i, j),
+    // including the cost |x_i - y_j| of the current position. Rolling
+    // two rows keeps memory at O(n).
+    std::vector<double> prev(n, Inf), cur(n, Inf);
+
+    prev[0] = std::abs(x[0] - y[0]); // initial pointer position
+    for (std::size_t j = 1; j < n; ++j)
+        prev[j] = prev[j - 1] + std::abs(x[0] - y[j]) + async_penalty;
+
+    for (std::size_t i = 1; i < m; ++i) {
+        cur[0] = prev[0] + std::abs(x[i] - y[0]) + async_penalty;
+        for (std::size_t j = 1; j < n; ++j) {
+            const double best =
+                std::min({prev[j - 1],
+                          prev[j] + async_penalty,
+                          cur[j - 1] + async_penalty});
+            cur[j] = best + std::abs(x[i] - y[j]);
+        }
+        std::swap(prev, cur);
+    }
+    return prev[n - 1];
+}
+
+double
+avgMetricDistance(const MetricSeries &x, const MetricSeries &y)
+{
+    return std::abs(stats::mean(x) - stats::mean(y));
+}
+
+namespace {
+
+/** Uniformly subsample a sequence down to at most max_len entries. */
+std::vector<os::Sys>
+subsample(const std::vector<os::Sys> &s, std::size_t max_len)
+{
+    if (s.size() <= max_len)
+        return s;
+    std::vector<os::Sys> out;
+    out.reserve(max_len);
+    const double stride =
+        static_cast<double>(s.size()) / static_cast<double>(max_len);
+    for (std::size_t i = 0; i < max_len; ++i) {
+        const auto idx = static_cast<std::size_t>(
+            static_cast<double>(i) * stride);
+        out.push_back(s[std::min(idx, s.size() - 1)]);
+    }
+    return out;
+}
+
+} // namespace
+
+double
+levenshteinDistance(const std::vector<os::Sys> &a,
+                    const std::vector<os::Sys> &b, std::size_t max_len)
+{
+    const std::vector<os::Sys> x = subsample(a, max_len);
+    const std::vector<os::Sys> y = subsample(b, max_len);
+    const std::size_t m = x.size(), n = y.size();
+    if (m == 0)
+        return static_cast<double>(n);
+    if (n == 0)
+        return static_cast<double>(m);
+
+    std::vector<std::uint32_t> prev(n + 1), cur(n + 1);
+    for (std::size_t j = 0; j <= n; ++j)
+        prev[j] = static_cast<std::uint32_t>(j);
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        cur[0] = static_cast<std::uint32_t>(i);
+        for (std::size_t j = 1; j <= n; ++j) {
+            const std::uint32_t sub =
+                prev[j - 1] + (x[i - 1] == y[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return static_cast<double>(prev[n]);
+}
+
+double
+lengthPenalty(const std::vector<MetricSeries> &series, stats::Rng &rng,
+              double q, std::size_t pairs)
+{
+    // Flatten to (series, index) sampling without copying.
+    std::vector<const MetricSeries *> nonempty;
+    for (const auto &s : series)
+        if (!s.empty())
+            nonempty.push_back(&s);
+    if (nonempty.empty())
+        return 0.0;
+
+    std::vector<double> diffs;
+    diffs.reserve(pairs);
+    for (std::size_t k = 0; k < pairs; ++k) {
+        const auto &s1 = *nonempty[rng.uniformInt(nonempty.size())];
+        const auto &s2 = *nonempty[rng.uniformInt(nonempty.size())];
+        const double v1 = s1[rng.uniformInt(s1.size())];
+        const double v2 = s2[rng.uniformInt(s2.size())];
+        diffs.push_back(std::abs(v1 - v2));
+    }
+    return stats::quantile(std::move(diffs), q);
+}
+
+const char *
+measureName(Measure m)
+{
+    switch (m) {
+      case Measure::LevenshteinSyscalls:
+        return "Levenshtein(syscalls)";
+      case Measure::AvgMetric:
+        return "Avg metric diff";
+      case Measure::L1:
+        return "L1 distance";
+      case Measure::Dtw:
+        return "DTW";
+      case Measure::DtwAsyncPenalty:
+        return "DTW+async penalty";
+    }
+    return "?";
+}
+
+} // namespace rbv::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * k-medoids implementation.
+ */
+
+#include "core/model/kmedoids.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rbv::core {
+
+DistanceMatrix
+DistanceMatrix::build(
+    std::size_t n,
+    const std::function<double(std::size_t, std::size_t)> &dist)
+{
+    DistanceMatrix dm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            dm.set(i, j, dist(i, j));
+    return dm;
+}
+
+std::vector<std::size_t>
+Clustering::membersOf(std::size_t cluster) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < assignment.size(); ++i)
+        if (assignment[i] == cluster)
+            out.push_back(i);
+    return out;
+}
+
+Clustering
+kMedoids(const DistanceMatrix &dm, std::size_t k, stats::Rng &rng,
+         std::size_t max_iter)
+{
+    const std::size_t n = dm.size();
+    Clustering cl;
+    if (n == 0)
+        return cl;
+    k = std::min(k, n);
+
+    // Greedy max-min seeding: random first medoid, then repeatedly
+    // the item farthest from all chosen medoids.
+    std::vector<std::size_t> medoids;
+    medoids.push_back(rng.uniformInt(n));
+    std::vector<double> min_d(n,
+                              std::numeric_limits<double>::infinity());
+    while (medoids.size() < k) {
+        for (std::size_t i = 0; i < n; ++i)
+            min_d[i] = std::min(min_d[i], dm.at(i, medoids.back()));
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (min_d[i] > far_d) {
+                far_d = min_d[i];
+                far = i;
+            }
+        }
+        medoids.push_back(far);
+    }
+
+    std::vector<std::size_t> assign(n, 0);
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+        // Assignment step.
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < medoids.size(); ++c) {
+                const double d = dm.at(i, medoids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best;
+        }
+
+        // Medoid re-election step.
+        bool changed = false;
+        for (std::size_t c = 0; c < medoids.size(); ++c) {
+            std::size_t best = medoids[c];
+            double best_cost = std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < n; ++i) {
+                if (assign[i] != c)
+                    continue;
+                double cost = 0.0;
+                for (std::size_t j = 0; j < n; ++j)
+                    if (assign[j] == c)
+                        cost += dm.at(i, j);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            if (best != medoids[c]) {
+                medoids[c] = best;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    // Final assignment and cost.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < medoids.size(); ++c) {
+            const double d = dm.at(i, medoids[c]);
+            if (d < best_d) {
+                best_d = d;
+                best = c;
+            }
+        }
+        assign[i] = best;
+        total += best_d;
+    }
+
+    cl.medoids = std::move(medoids);
+    cl.assignment = std::move(assign);
+    cl.totalCost = total;
+    return cl;
+}
+
+double
+divergenceFromCentroid(const Clustering &cl,
+                       const std::vector<double> &prop)
+{
+    if (cl.assignment.empty())
+        return 0.0;
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < cl.assignment.size(); ++i) {
+        const std::size_t medoid = cl.medoids[cl.assignment[i]];
+        const double pc = prop[medoid];
+        if (pc == 0.0)
+            continue;
+        sum += std::abs(prop[i] - pc) / std::abs(pc);
+        ++count;
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+} // namespace rbv::core

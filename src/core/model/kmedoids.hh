@@ -1,0 +1,95 @@
+/**
+ * @file
+ * k-medoids request classification (Sec. 4.2).
+ *
+ * The mean of a set of request variation patterns is not well
+ * defined, so the paper replaces the k-means cluster mean with a
+ * cluster centroid request: the member whose summed distance to all
+ * other members is minimal. This module implements that algorithm
+ * over a precomputed pairwise distance matrix.
+ */
+
+#ifndef RBV_CORE_MODEL_KMEDOIDS_HH
+#define RBV_CORE_MODEL_KMEDOIDS_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace rbv::core {
+
+/**
+ * Symmetric pairwise distance matrix.
+ */
+class DistanceMatrix
+{
+  public:
+    explicit DistanceMatrix(std::size_t n) : n(n), d(n * n, 0.0) {}
+
+    /** Build by evaluating dist(i, j) for all i < j. */
+    static DistanceMatrix build(
+        std::size_t n,
+        const std::function<double(std::size_t, std::size_t)> &dist);
+
+    std::size_t size() const { return n; }
+
+    double at(std::size_t i, std::size_t j) const { return d[i * n + j]; }
+
+    void
+    set(std::size_t i, std::size_t j, double v)
+    {
+        d[i * n + j] = v;
+        d[j * n + i] = v;
+    }
+
+  private:
+    std::size_t n;
+    std::vector<double> d;
+};
+
+/** k-medoids clustering result. */
+struct Clustering
+{
+    /** Medoid item index of every cluster. */
+    std::vector<std::size_t> medoids;
+
+    /** Cluster assignment of every item. */
+    std::vector<std::size_t> assignment;
+
+    /** Sum over items of distance to their medoid. */
+    double totalCost = 0.0;
+
+    /** Members of one cluster. */
+    std::vector<std::size_t> membersOf(std::size_t cluster) const;
+};
+
+/**
+ * Run k-medoids (Voronoi iteration / PAM-lite):
+ * greedy max-min seeding, then alternate (a) assign each item to its
+ * nearest medoid and (b) re-elect each cluster's medoid as the member
+ * minimizing summed intra-cluster distance, until stable.
+ *
+ * @param dm       Pairwise distances.
+ * @param k        Number of clusters (clamped to the item count).
+ * @param rng      Seeding randomness (first medoid).
+ * @param max_iter Iteration cap.
+ */
+Clustering kMedoids(const DistanceMatrix &dm, std::size_t k,
+                    stats::Rng &rng, std::size_t max_iter = 50);
+
+/**
+ * Classification quality per the paper's Fig. 7: each request's
+ * divergence from its cluster centroid on a scalar property,
+ * |prop_r - prop_c| / prop_c, averaged over all requests.
+ *
+ * @param cl   Clustering over the items.
+ * @param prop Scalar property of every item (CPU time, peak CPI...).
+ */
+double divergenceFromCentroid(const Clustering &cl,
+                              const std::vector<double> &prop);
+
+} // namespace rbv::core
+
+#endif // RBV_CORE_MODEL_KMEDOIDS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Online request signature identification implementation.
+ */
+
+#include "core/model/signature.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/summary.hh"
+
+namespace rbv::core {
+
+void
+SignatureBank::add(MetricSeries series, double cpu_cycles, int class_id)
+{
+    Entry e;
+    e.avgMetric = stats::mean(series);
+    e.series = std::move(series);
+    e.cpuCycles = cpu_cycles;
+    e.classId = class_id;
+    entries.push_back(std::move(e));
+}
+
+std::size_t
+SignatureBank::identify(const MetricSeries &partial) const
+{
+    if (entries.empty() || partial.empty())
+        return npos;
+
+    std::size_t best = npos;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &sig = entries[i].series;
+        const std::size_t common = std::min(partial.size(), sig.size());
+        double d = 0.0;
+        for (std::size_t k = 0; k < common; ++k)
+            d += std::abs(partial[k] - sig[k]);
+        // A signature shorter than the observed prefix means the bank
+        // request already ended; penalize the unmatched observed bins
+        // by their own magnitude (the signature "has nothing there").
+        for (std::size_t k = common; k < partial.size(); ++k)
+            d += std::abs(partial[k]);
+        // Normalize by compared length to avoid favoring short
+        // signatures.
+        d /= static_cast<double>(partial.size());
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::size_t
+SignatureBank::identifyByAverage(const MetricSeries &partial) const
+{
+    if (entries.empty() || partial.empty())
+        return npos;
+    const double avg = stats::mean(partial);
+    std::size_t best = npos;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const double d = std::abs(entries[i].avgMetric - avg);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+RecentPastPredictor::observe(double cpu_cycles)
+{
+    history.push_back(cpu_cycles);
+    sum += cpu_cycles;
+    if (history.size() > window) {
+        sum -= history[history.size() - window - 1];
+    }
+}
+
+double
+RecentPastPredictor::predict() const
+{
+    if (history.empty())
+        return 0.0;
+    const std::size_t n = std::min(window, history.size());
+    return sum / static_cast<double>(n);
+}
+
+} // namespace rbv::core

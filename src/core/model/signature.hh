@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Online request signature identification (Sec. 4.4).
+ *
+ * The system maintains a bank of representative request signatures
+ * (the paper uses 500 per application). Shortly after a new request
+ * begins, its partial variation pattern is matched against the bank
+ * with the low-cost L1 distance; the closest entry's properties
+ * predict the new request's properties (e.g., whether its CPU
+ * consumption will exceed the workload median) well before it
+ * finishes. The signature metric is L2 references per instruction —
+ * an inherent-behavior metric largely free of dynamic L2 contention
+ * effects.
+ */
+
+#ifndef RBV_CORE_MODEL_SIGNATURE_HH
+#define RBV_CORE_MODEL_SIGNATURE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/timeline.hh"
+
+namespace rbv::core {
+
+/**
+ * Bank of representative request signatures.
+ */
+class SignatureBank
+{
+  public:
+    /** One bank entry. */
+    struct Entry
+    {
+        MetricSeries series;   ///< Variation-pattern signature.
+        double avgMetric = 0.0;///< Average-value signature ([27]).
+        double cpuCycles = 0.0;///< The request's total CPU cycles.
+        int classId = 0;       ///< Ground-truth class (evaluation).
+    };
+
+    /**
+     * @param bin_ins Instruction bin width of the stored series.
+     */
+    explicit SignatureBank(double bin_ins) : binIns(bin_ins) {}
+
+    /** Add a completed request's signature to the bank. */
+    void add(MetricSeries series, double cpu_cycles, int class_id);
+
+    std::size_t size() const { return entries.size(); }
+    const Entry &entry(std::size_t i) const { return entries[i]; }
+    double binWidth() const { return binIns; }
+
+    /**
+     * Identify a request from the partial series of its first
+     * executed instructions using the L1 distance over the common
+     * prefix (no length penalty: the request is still running).
+     *
+     * @return Index of the closest entry, or npos if the bank is
+     *         empty or the partial series has no bins.
+     */
+    std::size_t identify(const MetricSeries &partial) const;
+
+    /**
+     * Identify using average-metric signatures instead (the
+     * comparison baseline of Fig. 10).
+     */
+    std::size_t identifyByAverage(const MetricSeries &partial) const;
+
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+  private:
+    double binIns;
+    std::vector<Entry> entries;
+};
+
+/**
+ * Recent-past CPU usage predictor: the conventional transparent
+ * baseline of Fig. 10, which predicts each request's CPU usage as
+ * the average consumption of the W most recent past requests.
+ */
+class RecentPastPredictor
+{
+  public:
+    explicit RecentPastPredictor(std::size_t window = 10)
+        : window(window)
+    {
+    }
+
+    /** Record a completed request's CPU cycles. */
+    void observe(double cpu_cycles);
+
+    /** Predicted CPU cycles for the next request. */
+    double predict() const;
+
+    bool empty() const { return history.empty(); }
+
+  private:
+    std::size_t window;
+    std::vector<double> history;
+    double sum = 0.0;
+};
+
+} // namespace rbv::core
+
+#endif // RBV_CORE_MODEL_SIGNATURE_HH

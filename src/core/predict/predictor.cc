@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Predictor helpers.
+ */
+
+#include "core/predict/predictor.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rbv::core {
+
+std::string
+EwmaPredictor::fmtAlpha(double a)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << a;
+    return os.str();
+}
+
+} // namespace rbv::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Observer-effect model implementation.
+ */
+
+#include "core/sampling/observer.hh"
+
+#include <algorithm>
+
+namespace rbv::core {
+
+sim::FixedWork
+observerCost(SampleContext ctx, double misses_per_ins)
+{
+    const ObserverProfile &spin =
+        ctx == SampleContext::InKernel ? InKernelSpin : InterruptSpin;
+    const ObserverProfile &data =
+        ctx == SampleContext::InKernel ? InKernelData : InterruptData;
+
+    const double p = std::clamp(
+        misses_per_ins / FullPollutionMissesPerIns, 0.0, 1.0);
+
+    return sim::FixedWork{
+        spin.cycles + p * (data.cycles - spin.cycles),
+        spin.instructions + p * (data.instructions - spin.instructions),
+        spin.l2Refs + p * (data.l2Refs - spin.l2Refs),
+        spin.l2Misses + p * (data.l2Misses - spin.l2Misses)};
+}
+
+ObserverProfile
+observerCompensation(SampleContext ctx)
+{
+    return ctx == SampleContext::InKernel ? InKernelSpin
+                                          : InterruptSpin;
+}
+
+} // namespace rbv::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Observer-effect model and compensation (Sec. 3.1, Table 1).
+ *
+ * Reading the hardware counters is not free: each sample consumes
+ * CPU time and produces additional processor events that perturb the
+ * collected metrics. The per-sample cost and event counts depend on
+ * the sampling context (in-kernel vs. interrupt — an interrupt pays
+ * an extra user/kernel domain switch) and on how aggressively the
+ * running workload pollutes the cache (the sampler's own data gets
+ * evicted and must be re-fetched).
+ *
+ * Table 1 of the paper bounds these effects with two calibration
+ * microbenchmarks; we treat those rows as platform constants, inject
+ * per-sample events interpolated between them by the current cache
+ * pollution intensity, and compensate by subtracting the minimum
+ * (Mbench-Spin) row — the paper's "do no harm" principle.
+ */
+
+#ifndef RBV_CORE_SAMPLING_OBSERVER_HH
+#define RBV_CORE_SAMPLING_OBSERVER_HH
+
+#include "sim/machine.hh"
+
+namespace rbv::core {
+
+/** Sampling context (Table 1 distinguishes these two). */
+enum class SampleContext
+{
+    InKernel,  ///< Already in the kernel (context switch, syscall).
+    Interrupt, ///< APIC interrupt (extra domain-switch cost).
+};
+
+/** One calibration row of Table 1. */
+struct ObserverProfile
+{
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double l2Refs = 0.0;
+    double l2Misses = 0.0;
+};
+
+/** @name Table 1 platform calibration rows. */
+/// @{
+constexpr ObserverProfile InKernelSpin{1270.0, 649.0, 0.0, 0.0};
+constexpr ObserverProfile InKernelData{1374.0, 649.0, 13.0, 0.0};
+constexpr ObserverProfile InterruptSpin{2276.0, 724.0, 0.0, 0.0};
+constexpr ObserverProfile InterruptData{2388.0, 734.0, 12.0, 0.0};
+/// @}
+
+/**
+ * L2 misses per instruction at which the workload pollutes the cache
+ * as aggressively as Mbench-Data (full interpolation).
+ */
+constexpr double FullPollutionMissesPerIns = 0.020;
+
+/**
+ * The events one sample injects, interpolated between the Spin and
+ * Data rows by the running workload's current cache pollution.
+ *
+ * @param ctx             Sampling context.
+ * @param misses_per_ins  Current L2 misses/instruction on the core.
+ */
+sim::FixedWork observerCost(SampleContext ctx, double misses_per_ins);
+
+/**
+ * The compensation subtracted from each period's counter delta under
+ * the "do no harm" principle: the Spin (minimum) row of the context
+ * of the sample that opened the period.
+ */
+ObserverProfile observerCompensation(SampleContext ctx);
+
+} // namespace rbv::core
+
+#endif // RBV_CORE_SAMPLING_OBSERVER_HH

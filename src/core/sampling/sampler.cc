@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Sampler implementations.
+ */
+
+#include "core/sampling/sampler.hh"
+
+#include <algorithm>
+
+namespace rbv::core {
+
+namespace {
+
+/** Periods with fewer instructions than this are not recorded. */
+constexpr double MinPeriodIns = 1.0;
+
+const Timeline EmptyTimeline{};
+
+} // namespace
+
+Sampler::Sampler(os::Kernel &kernel, SamplerConfig cfg)
+    : kernel(kernel), machine(kernel.machine()), cfg(cfg),
+      coreState(machine.numCores())
+{
+    kernel.addHooks(this);
+}
+
+const Timeline &
+Sampler::timelineOf(os::RequestId id) const
+{
+    const auto idx = static_cast<std::size_t>(id);
+    if (id == os::InvalidRequestId || idx >= timelines.size())
+        return EmptyTimeline;
+    return timelines[idx];
+}
+
+std::vector<Timeline>
+Sampler::takeTimelines()
+{
+    return std::move(timelines);
+}
+
+double
+Sampler::sinceLastSample(sim::CoreId core) const
+{
+    return static_cast<double>(kernel.now() -
+                               coreState[core].lastTick);
+}
+
+void
+Sampler::takeSample(sim::CoreId core, SampleTrigger trigger,
+                    SampleContext ctx)
+{
+    CoreSampleState &cs = coreState[core];
+    const auto snap = machine.counters(core).snapshot();
+    auto delta = snap - cs.lastSnap;
+
+    // "Do no harm" compensation: the period contains the events the
+    // previous sample injected; subtract that context's minimum row.
+    if (cfg.compensate && cs.hasPrev && cfg.injectObserverCost) {
+        const ObserverProfile comp = observerCompensation(cs.lastCtx);
+        delta.cycles = std::max(0.0, delta.cycles - comp.cycles);
+        delta.instructions =
+            std::max(0.0, delta.instructions - comp.instructions);
+        delta.l2Refs = std::max(0.0, delta.l2Refs - comp.l2Refs);
+        delta.l2Misses =
+            std::max(0.0, delta.l2Misses - comp.l2Misses);
+    }
+
+    const os::RequestId req = kernel.currentRequest(core);
+
+    if (delta.instructions >= MinPeriodIns) {
+        Period p;
+        p.instructions = delta.instructions;
+        p.cycles = delta.cycles;
+        p.l2Refs = delta.l2Refs;
+        p.l2Misses = delta.l2Misses;
+        p.wallStart = cs.lastTick;
+        p.trigger = trigger;
+
+        if (cfg.recordTimelines && req != os::InvalidRequestId) {
+            const auto idx = static_cast<std::size_t>(req);
+            if (timelines.size() <= idx)
+                timelines.resize(idx + 1);
+            timelines[idx].request = req;
+            timelines[idx].periods.push_back(p);
+        }
+        for (const auto &obs : observers)
+            obs(core, req, p);
+    }
+
+    // Inject this sample's observer cost; it lands in the next period.
+    if (cfg.injectObserverCost) {
+        const sim::FixedWork cost =
+            observerCost(ctx, machine.currentMissesPerIns(core));
+        machine.pushFixedWork(core, cost);
+        sstats.overheadCycles += cost.cycles;
+    }
+
+    switch (trigger) {
+      case SampleTrigger::ContextSwitch:
+        ++sstats.contextSwitchSamples;
+        break;
+      case SampleTrigger::Syscall:
+        ++sstats.syscallSamples;
+        break;
+      case SampleTrigger::Interrupt:
+        ++sstats.interruptSamples;
+        break;
+      case SampleTrigger::BackupInterrupt:
+        ++sstats.backupSamples;
+        break;
+    }
+
+    // Note: the snapshot was read before the injection, so the
+    // injected events appear in the next period's delta (and the
+    // compensation above removes their floor).
+    cs.lastSnap = machine.counters(core).snapshot();
+    cs.lastTick = kernel.now();
+    cs.lastCtx = ctx;
+    cs.hasPrev = true;
+}
+
+void
+Sampler::onRequestSwitch(sim::CoreId core, os::RequestId out,
+                         os::RequestId in)
+{
+    (void)out;
+    (void)in;
+    takeSample(core, SampleTrigger::ContextSwitch,
+               SampleContext::InKernel);
+}
+
+// ---------------------------------------------------------------------
+// InterruptSampler
+
+InterruptSampler::InterruptSampler(os::Kernel &kernel, SamplerConfig cfg)
+    : Sampler(kernel, cfg)
+{
+}
+
+void
+InterruptSampler::start()
+{
+    for (sim::CoreId c = 0; c < machine.numCores(); ++c)
+        arm(c);
+}
+
+void
+InterruptSampler::arm(sim::CoreId core)
+{
+    machine.armCycleTimer(core, sim::usToCycles(cfg.periodUs),
+                          [this, core] {
+                              takeSample(core, SampleTrigger::Interrupt,
+                                         SampleContext::Interrupt);
+                              arm(core);
+                          });
+}
+
+// ---------------------------------------------------------------------
+// SyscallSampler
+
+SyscallSampler::SyscallSampler(os::Kernel &kernel, SamplerConfig cfg)
+    : Sampler(kernel, cfg)
+{
+}
+
+void
+SyscallSampler::start()
+{
+    for (sim::CoreId c = 0; c < machine.numCores(); ++c)
+        armBackup(c);
+}
+
+void
+SyscallSampler::armBackup(sim::CoreId core)
+{
+    machine.armCycleTimer(
+        core, sim::usToCycles(cfg.backupUs), [this, core] {
+            takeSample(core, SampleTrigger::BackupInterrupt,
+                       SampleContext::Interrupt);
+            armBackup(core);
+        });
+}
+
+void
+SyscallSampler::onSyscallEntry(sim::CoreId core, os::ThreadId thread,
+                               os::RequestId request, os::Sys sys)
+{
+    (void)request;
+    if (!isTrigger(thread, sys))
+        return;
+    if (sinceLastSample(core) <
+        static_cast<double>(sim::usToCycles(cfg.minGapUs)))
+        return;
+    takeSample(core, SampleTrigger::Syscall, SampleContext::InKernel);
+    armBackup(core);
+}
+
+void
+SyscallSampler::onRequestSwitch(sim::CoreId core, os::RequestId out,
+                                os::RequestId in)
+{
+    Sampler::onRequestSwitch(core, out, in);
+    armBackup(core);
+}
+
+// ---------------------------------------------------------------------
+// TransitionSignalSampler
+
+TransitionSignalSampler::TransitionSignalSampler(
+    os::Kernel &kernel, SamplerConfig cfg,
+    const std::vector<os::Sys> &triggers)
+    : SyscallSampler(kernel, cfg)
+{
+    for (os::Sys s : triggers)
+        triggerSet[static_cast<std::size_t>(s)] = true;
+}
+
+// ---------------------------------------------------------------------
+// BigramTransitionSignalSampler
+
+BigramTransitionSignalSampler::BigramTransitionSignalSampler(
+    os::Kernel &kernel, SamplerConfig cfg,
+    const std::vector<Bigram> &triggers)
+    : SyscallSampler(kernel, cfg),
+      triggerSet(static_cast<std::size_t>(os::NumSys) * os::NumSys,
+                 false)
+{
+    for (const auto &[prev, cur] : triggers) {
+        triggerSet[static_cast<std::size_t>(prev) * os::NumSys +
+                   static_cast<std::size_t>(cur)] = true;
+    }
+}
+
+bool
+BigramTransitionSignalSampler::isTrigger(os::ThreadId thread,
+                                         os::Sys sys)
+{
+    const auto idx = static_cast<std::size_t>(thread);
+    if (lastSys.size() <= idx)
+        lastSys.resize(idx + 1, os::Sys::NumSyscalls);
+    const os::Sys prev = lastSys[idx];
+    lastSys[idx] = sys;
+    if (prev == os::Sys::NumSyscalls)
+        return false;
+    return triggerSet[static_cast<std::size_t>(prev) * os::NumSys +
+                      static_cast<std::size_t>(sys)];
+}
+
+} // namespace rbv::core

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Online hardware-counter samplers (Sec. 3).
+ *
+ * All samplers take mandatory samples at request context switches
+ * (so before/after-switch events are attributed to the right
+ * requests) and differ in how they capture intra-request variation:
+ *
+ *  - InterruptSampler (Sec. 3.1): periodic APIC counter-overflow
+ *    interrupts at a configurable period (10 us .. 1 ms);
+ *  - SyscallSampler (Sec. 3.2): cheap in-kernel samples at system
+ *    call entries, rate-limited by T_syscall_min, with a backup
+ *    interrupt timer at T_backup_int covering syscall-free stretches;
+ *  - TransitionSignalSampler (Sec. 3.2): only samples at system
+ *    calls selected as behavior-transition signals (Table 2).
+ *
+ * Each sample injects its observer cost into the machine and the
+ * closing of each period optionally subtracts the "do no harm"
+ * compensation.
+ */
+
+#ifndef RBV_CORE_SAMPLING_SAMPLER_HH
+#define RBV_CORE_SAMPLING_SAMPLER_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "core/sampling/observer.hh"
+#include "core/timeline.hh"
+#include "os/kernel.hh"
+
+namespace rbv::core {
+
+/** Sampler tunables. */
+struct SamplerConfig
+{
+    /** Subtract the minimum observer effect from each period. */
+    bool compensate = true;
+
+    /** Inject the per-sample observer cost into the machine. */
+    bool injectObserverCost = true;
+
+    /** Record per-request timelines. */
+    bool recordTimelines = true;
+
+    /** Periodic interrupt period (InterruptSampler), microseconds. */
+    double periodUs = 100.0;
+
+    /** Backup interrupt delay T_backup_int (SyscallSampler), us. */
+    double backupUs = 500.0;
+
+    /** Minimum syscall sampling gap T_syscall_min, us. */
+    double minGapUs = 100.0;
+};
+
+/** Aggregate sampling statistics (drives Fig. 5). */
+struct SamplerStats
+{
+    std::uint64_t contextSwitchSamples = 0;
+    std::uint64_t syscallSamples = 0;
+    std::uint64_t interruptSamples = 0;
+    std::uint64_t backupSamples = 0;
+
+    /** Total injected observer cycles (the sampling overhead). */
+    double overheadCycles = 0.0;
+
+    std::uint64_t
+    totalSamples() const
+    {
+        return contextSwitchSamples + syscallSamples +
+               interruptSamples + backupSamples;
+    }
+
+    /** Samples taken in an in-kernel context. */
+    std::uint64_t
+    inKernelSamples() const
+    {
+        return contextSwitchSamples + syscallSamples;
+    }
+
+    /** Samples taken at an interrupt. */
+    std::uint64_t
+    interruptContextSamples() const
+    {
+        return interruptSamples + backupSamples;
+    }
+};
+
+/**
+ * Base sampler: request-context-switch sampling, period accounting,
+ * observer-cost injection, compensation, and timeline recording.
+ */
+class Sampler : public os::KernelHooks
+{
+  public:
+    /** Observer invoked on every sampled period. */
+    using SampleObserver = std::function<void(
+        sim::CoreId, os::RequestId, const Period &)>;
+
+    Sampler(os::Kernel &kernel, SamplerConfig cfg);
+    ~Sampler() override = default;
+
+    /** Arm timers; call after Kernel::start(). */
+    virtual void start() {}
+
+    const SamplerStats &stats() const { return sstats; }
+    const SamplerConfig &config() const { return cfg; }
+
+    /** Timeline of a request (empty if none recorded). */
+    const Timeline &timelineOf(os::RequestId id) const;
+
+    /** Move all recorded timelines out of the sampler. */
+    std::vector<Timeline> takeTimelines();
+
+    /** Register an observer of sampled periods. */
+    void
+    addSampleObserver(SampleObserver obs)
+    {
+        observers.push_back(std::move(obs));
+    }
+
+    /** Mandatory attribution sample at request context switches. */
+    void onRequestSwitch(sim::CoreId core, os::RequestId out,
+                         os::RequestId in) override;
+
+  protected:
+    /**
+     * Take one sample on a core: close the current period, attribute
+     * it to the request in context, inject the observer cost.
+     */
+    void takeSample(sim::CoreId core, SampleTrigger trigger,
+                    SampleContext ctx);
+
+    /** Wall time since the last sample on a core (cycles). */
+    double sinceLastSample(sim::CoreId core) const;
+
+    os::Kernel &kernel;
+    sim::Machine &machine;
+    SamplerConfig cfg;
+    SamplerStats sstats;
+
+  private:
+    struct CoreSampleState
+    {
+        sim::CounterSnapshot lastSnap;
+        sim::Tick lastTick = 0;
+        SampleContext lastCtx = SampleContext::InKernel;
+        bool hasPrev = false; ///< A prior sample injected overhead.
+    };
+
+    std::vector<CoreSampleState> coreState;
+    std::vector<Timeline> timelines; ///< Indexed by request id.
+    std::vector<SampleObserver> observers;
+};
+
+/** Periodic interrupt-based sampler (Sec. 3.1). */
+class InterruptSampler : public Sampler
+{
+  public:
+    InterruptSampler(os::Kernel &kernel, SamplerConfig cfg);
+
+    void start() override;
+
+  private:
+    void arm(sim::CoreId core);
+};
+
+/** System call-triggered sampler with backup interrupts (Sec. 3.2). */
+class SyscallSampler : public Sampler
+{
+  public:
+    SyscallSampler(os::Kernel &kernel, SamplerConfig cfg);
+
+    void start() override;
+
+    void onSyscallEntry(sim::CoreId core, os::ThreadId thread,
+                        os::RequestId request, os::Sys sys) override;
+
+    void onRequestSwitch(sim::CoreId core, os::RequestId out,
+                         os::RequestId in) override;
+
+  protected:
+    /**
+     * Whether this syscall may trigger a sample (all, by default).
+     * The calling thread is provided so derived samplers can use
+     * per-thread history (e.g., syscall bigrams).
+     */
+    virtual bool
+    isTrigger(os::ThreadId thread, os::Sys sys)
+    {
+        (void)thread;
+        (void)sys;
+        return true;
+    }
+
+  private:
+    void armBackup(sim::CoreId core);
+};
+
+/**
+ * Enhanced sampler using behavior-transition signals: only a trained
+ * subset of system calls triggers samples (Sec. 3.2, Table 2).
+ */
+class TransitionSignalSampler : public SyscallSampler
+{
+  public:
+    TransitionSignalSampler(os::Kernel &kernel, SamplerConfig cfg,
+                            const std::vector<os::Sys> &triggers);
+
+  protected:
+    bool
+    isTrigger(os::ThreadId thread, os::Sys sys) override
+    {
+        (void)thread;
+        return triggerSet[static_cast<std::size_t>(sys)];
+    }
+
+  private:
+    std::array<bool, os::NumSys> triggerSet{};
+};
+
+/**
+ * Extension the paper suggests but does not investigate (Sec. 3.2):
+ * trigger on *sequences of two recent system call names*. A bigram
+ * disambiguates calls whose behavioral meaning depends on context —
+ * e.g., the web server's read() after poll() (request arrival,
+ * parse follows) vs read() after write() (the next body chunk) — so
+ * it can signal transitions a single name cannot.
+ */
+class BigramTransitionSignalSampler : public SyscallSampler
+{
+  public:
+    /** A (previous, current) syscall-name pair. */
+    using Bigram = std::pair<os::Sys, os::Sys>;
+
+    BigramTransitionSignalSampler(os::Kernel &kernel,
+                                  SamplerConfig cfg,
+                                  const std::vector<Bigram> &triggers);
+
+  protected:
+    bool isTrigger(os::ThreadId thread, os::Sys sys) override;
+
+  private:
+    std::vector<bool> triggerSet; ///< NumSys * NumSys flags.
+    std::vector<os::Sys> lastSys; ///< Per thread.
+};
+
+} // namespace rbv::core
+
+#endif // RBV_CORE_SAMPLING_SAMPLER_HH

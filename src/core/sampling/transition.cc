@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Behavior-transition signal training implementation.
+ */
+
+#include "core/sampling/transition.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rbv::core {
+
+namespace {
+
+/** Cap on unresolved syscalls per core between two samples. */
+constexpr std::size_t MaxPending = 16;
+
+} // namespace
+
+TransitionTrainer::TransitionTrainer(os::Kernel &kernel,
+                                     Sampler &sampler, Metric metric)
+    : metric(metric), cores(kernel.machine().numCores())
+{
+    kernel.addHooks(this);
+    sampler.addSampleObserver(
+        [this](sim::CoreId core, os::RequestId req, const Period &p) {
+            onSample(core, req, p);
+        });
+}
+
+void
+TransitionTrainer::onSyscallEntry(sim::CoreId core, os::ThreadId thread,
+                                  os::RequestId request, os::Sys sys)
+{
+    (void)thread;
+    if (request == os::InvalidRequestId)
+        return; // idle server loops carry no request semantics
+    CoreTrain &ct = cores[core];
+    if (!ct.hasBefore)
+        return;
+    if (ct.pending.size() < MaxPending)
+        ct.pending.push_back(Pending{sys, ct.beforeValue, false});
+}
+
+void
+TransitionTrainer::onSample(sim::CoreId core, os::RequestId request,
+                            const Period &period)
+{
+    (void)request;
+    CoreTrain &ct = cores[core];
+    const double value = metricOf(period, metric);
+
+    // A period closed by a system call sample starts exactly at the
+    // previous call, so it is a clean "after" window for any pending
+    // call. Periods closed by interrupts straddle the call: skip the
+    // straddling one and resolve against the next.
+    const bool aligned = period.trigger == SampleTrigger::Syscall;
+    auto it = ct.pending.begin();
+    while (it != ct.pending.end()) {
+        if (aligned || it->armed) {
+            bySys[static_cast<std::size_t>(it->sys)].add(value -
+                                                         it->before);
+            it = ct.pending.erase(it);
+        } else {
+            it->armed = true;
+            ++it;
+        }
+    }
+    ct.beforeValue = value;
+    ct.hasBefore = true;
+}
+
+std::vector<TransitionTrainer::SignalStat>
+TransitionTrainer::ranked(std::size_t min_count) const
+{
+    std::vector<SignalStat> out;
+    for (int s = 0; s < os::NumSys; ++s) {
+        const auto &acc = bySys[static_cast<std::size_t>(s)];
+        if (acc.count() < min_count)
+            continue;
+        SignalStat st;
+        st.sys = static_cast<os::Sys>(s);
+        st.count = acc.count();
+        st.meanChange = acc.mean();
+        st.stddev = acc.sampleStddev();
+        out.push_back(st);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SignalStat &a, const SignalStat &b) {
+                  return std::abs(a.meanChange) >
+                         std::abs(b.meanChange);
+              });
+    return out;
+}
+
+std::vector<os::Sys>
+TransitionTrainer::selectTriggers(std::size_t k,
+                                  std::size_t min_count) const
+{
+    std::vector<os::Sys> out;
+    for (const auto &st : ranked(min_count)) {
+        if (out.size() >= k)
+            break;
+        out.push_back(st.sys);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// BigramTransitionTrainer
+
+BigramTransitionTrainer::BigramTransitionTrainer(os::Kernel &kernel,
+                                                 Sampler &sampler,
+                                                 Metric metric)
+    : metric(metric),
+      byBigram(static_cast<std::size_t>(os::NumSys) * os::NumSys),
+      cores(kernel.machine().numCores())
+{
+    kernel.addHooks(this);
+    sampler.addSampleObserver(
+        [this](sim::CoreId core, os::RequestId req, const Period &p) {
+            onSample(core, req, p);
+        });
+}
+
+void
+BigramTransitionTrainer::onSyscallEntry(sim::CoreId core,
+                                        os::ThreadId thread,
+                                        os::RequestId request,
+                                        os::Sys sys)
+{
+    const auto tidx = static_cast<std::size_t>(thread);
+    if (lastSys.size() <= tidx)
+        lastSys.resize(tidx + 1, os::Sys::NumSyscalls);
+    const os::Sys prev = lastSys[tidx];
+    lastSys[tidx] = sys;
+
+    if (request == os::InvalidRequestId ||
+        prev == os::Sys::NumSyscalls)
+        return;
+    CoreTrain &ct = cores[core];
+    if (!ct.hasBefore)
+        return;
+    if (ct.pending.size() < MaxPending) {
+        ct.pending.push_back(
+            Pending{keyOf(prev, sys), ct.beforeValue, false});
+    }
+}
+
+void
+BigramTransitionTrainer::onSample(sim::CoreId core,
+                                  os::RequestId request,
+                                  const Period &period)
+{
+    (void)request;
+    CoreTrain &ct = cores[core];
+    const double value = metricOf(period, metric);
+    const bool aligned = period.trigger == SampleTrigger::Syscall;
+    auto it = ct.pending.begin();
+    while (it != ct.pending.end()) {
+        if (aligned || it->armed) {
+            byBigram[it->key].add(value - it->before);
+            it = ct.pending.erase(it);
+        } else {
+            it->armed = true;
+            ++it;
+        }
+    }
+    ct.beforeValue = value;
+    ct.hasBefore = true;
+}
+
+std::vector<BigramTransitionTrainer::SignalStat>
+BigramTransitionTrainer::ranked(std::size_t min_count) const
+{
+    std::vector<SignalStat> out;
+    for (std::size_t k = 0; k < byBigram.size(); ++k) {
+        const auto &acc = byBigram[k];
+        if (acc.count() < min_count)
+            continue;
+        SignalStat st;
+        st.bigram = {static_cast<os::Sys>(k / os::NumSys),
+                     static_cast<os::Sys>(k % os::NumSys)};
+        st.count = acc.count();
+        st.meanChange = acc.mean();
+        st.stddev = acc.sampleStddev();
+        out.push_back(st);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SignalStat &a, const SignalStat &b) {
+                  return std::abs(a.meanChange) >
+                         std::abs(b.meanChange);
+              });
+    return out;
+}
+
+std::vector<BigramTransitionTrainer::Bigram>
+BigramTransitionTrainer::selectTriggers(std::size_t k,
+                                        std::size_t min_count) const
+{
+    std::vector<Bigram> out;
+    for (const auto &st : ranked(min_count)) {
+        if (out.size() >= k)
+            break;
+        out.push_back(st.bigram);
+    }
+    return out;
+}
+
+} // namespace rbv::core

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Behavior-transition signal training (Sec. 3.2, Table 2).
+ *
+ * During an online training phase, each system call occurrence is
+ * mapped to the change of a target metric (CPI, by default) between
+ * the sampled periods immediately before and after the call. The
+ * running average indicates the significance of the transition the
+ * call signals; the standard deviation indicates its uniformity.
+ * The most-correlated calls are then selected as sampling triggers.
+ */
+
+#ifndef RBV_CORE_SAMPLING_TRANSITION_HH
+#define RBV_CORE_SAMPLING_TRANSITION_HH
+
+#include <array>
+#include <vector>
+
+#include "core/sampling/sampler.hh"
+#include "os/kernel.hh"
+#include "stats/online.hh"
+
+namespace rbv::core {
+
+/**
+ * Trains the syscall-name -> metric-change mapping online.
+ *
+ * Attach to a kernel (for syscall entries) and a sampler (for period
+ * completions). The "before" value is the metric of the last period
+ * completed on the calling core; the "after" value is the metric of
+ * the next period completed there.
+ */
+class TransitionTrainer : public os::KernelHooks
+{
+  public:
+    /** Per-syscall training result. */
+    struct SignalStat
+    {
+        os::Sys sys = os::Sys::gettimeofday;
+        std::size_t count = 0;
+        double meanChange = 0.0;
+        double stddev = 0.0;
+    };
+
+    /**
+     * @param kernel  Kernel to observe.
+     * @param sampler Sampler whose periods define the windows.
+     * @param metric  Target metric (the paper uses CPI).
+     */
+    TransitionTrainer(os::Kernel &kernel, Sampler &sampler,
+                      Metric metric = Metric::Cpi);
+
+    void onSyscallEntry(sim::CoreId core, os::ThreadId thread,
+                        os::RequestId request, os::Sys sys) override;
+
+    /** Signals ranked by |mean change| (most significant first). */
+    std::vector<SignalStat> ranked(std::size_t min_count = 20) const;
+
+    /** Select the top-k syscalls as sampling triggers. */
+    std::vector<os::Sys> selectTriggers(std::size_t k,
+                                        std::size_t min_count = 20)
+        const;
+
+  private:
+    void onSample(sim::CoreId core, os::RequestId request,
+                  const Period &period);
+
+    struct Pending
+    {
+        os::Sys sys;
+        double before;
+
+        /** Set once the period straddling the call has been skipped
+         *  (only needed when samples are not syscall-aligned). */
+        bool armed;
+    };
+
+    struct CoreTrain
+    {
+        bool hasBefore = false;
+        double beforeValue = 0.0;
+        std::vector<Pending> pending; ///< Calls awaiting "after".
+    };
+
+    Metric metric;
+    std::array<stats::OnlineMeanVar, os::NumSys> bySys;
+    std::vector<CoreTrain> cores;
+};
+
+/**
+ * Bigram variant of the trainer (the paper's suggested-but-not-
+ * investigated improvement): maps *pairs* of consecutive system call
+ * names within a thread to the subsequent metric change, so a call
+ * whose meaning depends on context (read() after poll() vs read()
+ * after write()) trains separate signals.
+ */
+class BigramTransitionTrainer : public os::KernelHooks
+{
+  public:
+    using Bigram = std::pair<os::Sys, os::Sys>;
+
+    /** Per-bigram training result. */
+    struct SignalStat
+    {
+        Bigram bigram{os::Sys::gettimeofday, os::Sys::gettimeofday};
+        std::size_t count = 0;
+        double meanChange = 0.0;
+        double stddev = 0.0;
+    };
+
+    BigramTransitionTrainer(os::Kernel &kernel, Sampler &sampler,
+                            Metric metric = Metric::Cpi);
+
+    void onSyscallEntry(sim::CoreId core, os::ThreadId thread,
+                        os::RequestId request, os::Sys sys) override;
+
+    /** Signals ranked by |mean change| (most significant first). */
+    std::vector<SignalStat> ranked(std::size_t min_count = 20) const;
+
+    /** Select the top-k bigrams as sampling triggers. */
+    std::vector<Bigram> selectTriggers(std::size_t k,
+                                       std::size_t min_count = 20)
+        const;
+
+  private:
+    void onSample(sim::CoreId core, os::RequestId request,
+                  const Period &period);
+
+    static std::size_t
+    keyOf(os::Sys prev, os::Sys cur)
+    {
+        return static_cast<std::size_t>(prev) * os::NumSys +
+               static_cast<std::size_t>(cur);
+    }
+
+    struct Pending
+    {
+        std::size_t key;
+        double before;
+        bool armed;
+    };
+
+    struct CoreTrain
+    {
+        bool hasBefore = false;
+        double beforeValue = 0.0;
+        std::vector<Pending> pending;
+    };
+
+    Metric metric;
+    std::vector<stats::OnlineMeanVar> byBigram; ///< NumSys^2 cells.
+    std::vector<os::Sys> lastSys;               ///< Per thread.
+    std::vector<CoreTrain> cores;
+};
+
+} // namespace rbv::core
+
+#endif // RBV_CORE_SAMPLING_TRANSITION_HH

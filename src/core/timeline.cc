@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Timeline resampling implementation.
+ */
+
+#include "core/timeline.hh"
+
+#include <algorithm>
+
+namespace rbv::core {
+
+const char *
+metricName(Metric m)
+{
+    switch (m) {
+      case Metric::Cpi: return "cycles/ins";
+      case Metric::L2RefsPerIns: return "L2 refs/ins";
+      case Metric::L2MissesPerIns: return "L2 misses/ins";
+      case Metric::L2MissRatio: return "L2 miss ratio";
+    }
+    return "?";
+}
+
+double
+metricOf(const Period &p, Metric m)
+{
+    switch (m) {
+      case Metric::Cpi: return p.cpi();
+      case Metric::L2RefsPerIns: return p.l2RefsPerIns();
+      case Metric::L2MissesPerIns: return p.l2MissesPerIns();
+      case Metric::L2MissRatio: return p.l2MissRatio();
+    }
+    return 0.0;
+}
+
+double
+Timeline::totalInstructions() const
+{
+    double total = 0.0;
+    for (const auto &p : periods)
+        total += p.instructions;
+    return total;
+}
+
+double
+Timeline::totalCycles() const
+{
+    double total = 0.0;
+    for (const auto &p : periods)
+        total += p.cycles;
+    return total;
+}
+
+namespace {
+
+/** Event accumulators of one bin. */
+struct BinAcc
+{
+    double ins = 0.0;
+    double cycles = 0.0;
+    double refs = 0.0;
+    double misses = 0.0;
+
+    double
+    metric(Metric m) const
+    {
+        Period p;
+        p.instructions = ins;
+        p.cycles = cycles;
+        p.l2Refs = refs;
+        p.l2Misses = misses;
+        return metricOf(p, m);
+    }
+};
+
+MetricSeries
+binImpl(const Timeline &tl, double bin_ins, double max_ins, Metric m)
+{
+    MetricSeries out;
+    if (bin_ins <= 0.0)
+        return out;
+
+    BinAcc acc;
+    double emitted_ins = 0.0; // instructions fully processed
+
+    for (const auto &p : tl.periods) {
+        double remaining = p.instructions;
+        if (remaining <= 0.0)
+            continue;
+        // Fractions of the period's events flow into bins pro rata.
+        while (remaining > 0.0) {
+            if (max_ins > 0.0 && emitted_ins >= max_ins)
+                break;
+            const double room = bin_ins - acc.ins;
+            double take = std::min(remaining, room);
+            if (max_ins > 0.0)
+                take = std::min(take, max_ins - emitted_ins);
+            const double frac = take / p.instructions;
+            acc.ins += take;
+            acc.cycles += p.cycles * frac;
+            acc.refs += p.l2Refs * frac;
+            acc.misses += p.l2Misses * frac;
+            remaining -= take;
+            emitted_ins += take;
+            if (acc.ins >= bin_ins - 1e-9) {
+                out.push_back(acc.metric(m));
+                acc = BinAcc{};
+            }
+        }
+        if (max_ins > 0.0 && emitted_ins >= max_ins)
+            break;
+    }
+
+    // Keep a trailing partial bin only if it is at least half full.
+    if (acc.ins >= 0.5 * bin_ins)
+        out.push_back(acc.metric(m));
+
+    return out;
+}
+
+} // namespace
+
+MetricSeries
+binByInstructions(const Timeline &tl, double bin_ins, Metric m)
+{
+    return binImpl(tl, bin_ins, 0.0, m);
+}
+
+MetricSeries
+binPrefixByInstructions(const Timeline &tl, double bin_ins,
+                        double max_ins, Metric m)
+{
+    return binImpl(tl, bin_ins, max_ins, m);
+}
+
+} // namespace rbv::core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Per-request behavior timelines.
+ *
+ * A timeline is the serialized sequence of sampled execution periods
+ * of one request (Sec. 2.1: counter metrics for many execution
+ * periods, serialized into a continuous request execution timeline).
+ * Each period carries the counter deltas between two consecutive
+ * samples attributed to the request, plus the event that triggered
+ * the closing sample.
+ */
+
+#ifndef RBV_CORE_TIMELINE_HH
+#define RBV_CORE_TIMELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "os/ids.hh"
+#include "sim/counters.hh"
+#include "sim/types.hh"
+
+namespace rbv::core {
+
+/** What triggered the sample closing a period. */
+enum class SampleTrigger : std::uint8_t
+{
+    ContextSwitch,   ///< Request context switch (mandatory).
+    Interrupt,       ///< Periodic APIC interrupt (Sec. 3.1).
+    Syscall,         ///< System call entry (Sec. 3.2).
+    BackupInterrupt, ///< Backup timer of the syscall sampler.
+};
+
+/** One sampled execution period of a request. */
+struct Period
+{
+    double instructions = 0.0;
+    double cycles = 0.0;
+    double l2Refs = 0.0;
+    double l2Misses = 0.0;
+
+    sim::Tick wallStart = 0;
+    SampleTrigger trigger = SampleTrigger::ContextSwitch;
+
+    double
+    cpi() const
+    {
+        return instructions > 0.0 ? cycles / instructions : 0.0;
+    }
+
+    double
+    l2RefsPerIns() const
+    {
+        return instructions > 0.0 ? l2Refs / instructions : 0.0;
+    }
+
+    double
+    l2MissesPerIns() const
+    {
+        return instructions > 0.0 ? l2Misses / instructions : 0.0;
+    }
+
+    double
+    l2MissRatio() const
+    {
+        return l2Refs > 0.0 ? l2Misses / l2Refs : 0.0;
+    }
+};
+
+/** Hardware metrics derivable from a period. */
+enum class Metric
+{
+    Cpi,
+    L2RefsPerIns,
+    L2MissesPerIns,
+    L2MissRatio,
+};
+
+/** Short metric name. */
+const char *metricName(Metric m);
+
+/** Evaluate a metric on a period. */
+double metricOf(const Period &p, Metric m);
+
+/** The sampled timeline of one request. */
+struct Timeline
+{
+    os::RequestId request = os::InvalidRequestId;
+    std::vector<Period> periods;
+
+    /** Totals over all periods. */
+    double totalInstructions() const;
+    double totalCycles() const;
+};
+
+/**
+ * A time-ordered sequence of metric values over fixed-length bins —
+ * the request signature form used by the differencing measures of
+ * Sec. 4.1.
+ */
+using MetricSeries = std::vector<double>;
+
+/**
+ * Resample a timeline into fixed instruction-count bins.
+ *
+ * Periods spanning bin boundaries contribute proportionally to each
+ * bin. Trailing partial bins shorter than half a bin are dropped.
+ *
+ * @param tl      Timeline to resample.
+ * @param bin_ins Bin width in instructions (> 0).
+ * @param m       Metric to evaluate per bin.
+ */
+MetricSeries binByInstructions(const Timeline &tl, double bin_ins,
+                               Metric m);
+
+/**
+ * Resample only the first @p max_ins instructions (for online partial
+ * signatures, Sec. 4.4).
+ */
+MetricSeries binPrefixByInstructions(const Timeline &tl, double bin_ins,
+                                     double max_ins, Metric m);
+
+} // namespace rbv::core
+
+#endif // RBV_CORE_TIMELINE_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Distributed request behavior tracking — the paper's stated future
+ * work ("the online management of request behavior variations across
+ * a distributed server architecture can expose both local and
+ * inter-machine variations").
+ *
+ * A Cluster hosts several nodes (each a full machine + kernel pair)
+ * on one simulated clock, connects them with latency-modeled network
+ * links, and maintains a *global* request identity across machine
+ * boundaries: a request handed from node A to node B over a link
+ * keeps one cluster-wide id, its counter totals aggregate per node,
+ * and the per-node sampled timelines can be merged into one
+ * serialized cross-machine execution timeline.
+ */
+
+#ifndef RBV_DIST_CLUSTER_HH
+#define RBV_DIST_CLUSTER_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sampling/sampler.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+
+namespace rbv::dist {
+
+/** Cluster-wide request identifier. */
+using GlobalRequestId = std::int64_t;
+constexpr GlobalRequestId InvalidGlobalRequestId = -1;
+
+/** Node identifier within a cluster. */
+using NodeId = int;
+
+/** Configuration of one cluster node. */
+struct NodeConfig
+{
+    std::string name;
+    sim::MachineConfig machine;
+    os::KernelConfig kernel;
+    std::shared_ptr<os::SchedulerPolicy> policy;
+};
+
+/** A (node, channel) ingress endpoint for a network link. */
+struct RemoteEndpoint
+{
+    NodeId node = -1;
+    os::ChannelId channel = os::InvalidChannelId;
+};
+
+/** Cluster-wide view of one request. */
+struct GlobalRequestInfo
+{
+    GlobalRequestId id = InvalidGlobalRequestId;
+    std::string className;
+    const void *spec = nullptr;
+
+    sim::Tick injected = 0;
+    sim::Tick completed = 0;
+    bool done = false;
+
+    /** Per-node exact counter totals (indexed by NodeId). */
+    std::vector<sim::CounterSnapshot> perNode;
+
+    /** Network hops this request took. */
+    std::uint32_t hops = 0;
+
+    /** Summed totals over all nodes. */
+    sim::CounterSnapshot totals() const;
+};
+
+/**
+ * A multi-node deployment sharing one simulated clock.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(sim::EventQueue &eq);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /** @name Topology (before start()) */
+    /// @{
+    NodeId addNode(const NodeConfig &cfg);
+    int numNodes() const { return static_cast<int>(nodes.size()); }
+
+    os::Kernel &kernel(NodeId node) { return *nodes[node]->kernel; }
+    sim::Machine &machine(NodeId node)
+    {
+        return *nodes[node]->machine;
+    }
+    const std::string &nodeName(NodeId node) const
+    {
+        return nodes[node]->name;
+    }
+
+    /**
+     * Create a network link: a channel on @p from whose messages are
+     * delivered into @p to after @p latency cycles, with the request
+     * context translated to the destination kernel (the cross-machine
+     * analogue of the kernel's socket-hop propagation).
+     *
+     * @return The egress channel id on the @p from node.
+     */
+    os::ChannelId connect(NodeId from, RemoteEndpoint to,
+                          sim::Tick latency);
+
+    /** Start every node's kernel. */
+    void start();
+    /// @}
+
+    /** @name Global requests */
+    /// @{
+    /** Register a cluster-wide request. */
+    GlobalRequestId registerRequest(std::string class_name,
+                                    const void *spec = nullptr);
+
+    /** Inject a request's first message at a node (network arrival). */
+    void post(NodeId node, os::ChannelId channel, os::Message msg,
+              GlobalRequestId id);
+
+    /**
+     * Mark a global request complete, folding in every node's local
+     * accounting. Call from a reply-channel sink.
+     */
+    void completeRequest(GlobalRequestId id);
+
+    /** Translate a node-local request id to the global id. */
+    GlobalRequestId globalIdOf(NodeId node, os::RequestId local) const;
+
+    /** The node-local id of a global request (registering lazily). */
+    os::RequestId localIdOf(NodeId node, GlobalRequestId id);
+
+    const GlobalRequestInfo &request(GlobalRequestId id) const
+    {
+        return requests[static_cast<std::size_t>(id)];
+    }
+    std::size_t numRequests() const { return requests.size(); }
+    std::size_t completedRequests() const { return numCompleted; }
+    /// @}
+
+    /**
+     * Merge the per-node sampled timelines of a global request into
+     * one wall-clock-ordered timeline (the serialized cross-machine
+     * request execution), given each node's sampler.
+     *
+     * @param samplers One sampler per node (index = NodeId); null
+     *                 entries are skipped.
+     */
+    core::Timeline mergedTimeline(
+        GlobalRequestId id,
+        const std::vector<const core::Sampler *> &samplers) const;
+
+  private:
+    struct Node
+    {
+        std::string name;
+        std::unique_ptr<sim::Machine> machine;
+        std::unique_ptr<os::Kernel> kernel;
+    };
+
+    /** Fold a node's local RequestInfo into the global record. */
+    void foldNodeAccounting(GlobalRequestId id);
+
+    /** Extend the per-global node maps after a node is added. */
+    void globalToLocal_resize();
+
+    sim::EventQueue &eq;
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::vector<GlobalRequestInfo> requests;
+
+    /** local id -> global id, per node. */
+    std::vector<std::map<os::RequestId, GlobalRequestId>>
+        localToGlobal;
+
+    /** global id -> local id per node (-1 = not registered there). */
+    std::vector<std::vector<os::RequestId>> globalToLocal;
+
+    std::size_t numCompleted = 0;
+    bool started = false;
+};
+
+} // namespace rbv::dist
+
+#endif // RBV_DIST_CLUSTER_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Experiment data reduction implementation.
+ */
+
+#include "exp/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/online.hh"
+#include "stats/summary.hh"
+
+namespace rbv::exp {
+
+double
+metricWeight(const sim::CounterSnapshot &c, core::Metric metric)
+{
+    switch (metric) {
+      case core::Metric::Cpi:
+      case core::Metric::L2RefsPerIns:
+      case core::Metric::L2MissesPerIns:
+        return c.instructions;
+      case core::Metric::L2MissRatio:
+        return c.l2Refs;
+    }
+    return 0.0;
+}
+
+namespace {
+
+double
+metricOfTotals(const sim::CounterSnapshot &c, core::Metric metric)
+{
+    core::Period p;
+    p.instructions = c.instructions;
+    p.cycles = c.cycles;
+    p.l2Refs = c.l2Refs;
+    p.l2Misses = c.l2Misses;
+    return core::metricOf(p, metric);
+}
+
+sim::CounterSnapshot
+periodAsSnapshot(const core::Period &p)
+{
+    sim::CounterSnapshot c;
+    c.cycles = p.cycles;
+    c.instructions = p.instructions;
+    c.l2Refs = p.l2Refs;
+    c.l2Misses = p.l2Misses;
+    return c;
+}
+
+} // namespace
+
+double
+overallMetric(const std::vector<RequestRecord> &records,
+              core::Metric metric)
+{
+    sim::CounterSnapshot total;
+    for (const auto &r : records)
+        total += r.totals;
+    return metricOfTotals(total, metric);
+}
+
+CovPair
+covInterIntra(const std::vector<RequestRecord> &records,
+              core::Metric metric)
+{
+    CovPair out;
+    if (records.empty())
+        return out;
+    const double xbar = overallMetric(records, metric);
+
+    stats::WeightedCov inter;
+    for (const auto &r : records) {
+        inter.add(metricWeight(r.totals, metric),
+                  metricOfTotals(r.totals, metric));
+    }
+    out.inter = inter.cov(xbar);
+
+    stats::WeightedCov intra;
+    for (const auto &r : records) {
+        for (const auto &p : r.timeline.periods) {
+            intra.add(metricWeight(periodAsSnapshot(p), metric),
+                      core::metricOf(p, metric));
+        }
+    }
+    // The intra-capable CoV is evaluated around the overall value of
+    // the *sampled* periods (observer compensation can shift it
+    // slightly from the exact totals).
+    out.withIntra = intra.cov(intra.weightedMean());
+    return out;
+}
+
+double
+periodsCov(const std::vector<RequestRecord> &records,
+           core::Metric metric)
+{
+    stats::WeightedCov cov;
+    for (const auto &r : records)
+        for (const auto &p : r.timeline.periods)
+            cov.add(metricWeight(periodAsSnapshot(p), metric),
+                    core::metricOf(p, metric));
+    return cov.cov();
+}
+
+std::vector<core::MetricSeries>
+seriesFor(const std::vector<RequestRecord> &records,
+          core::Metric metric, double bin_ins)
+{
+    std::vector<core::MetricSeries> out;
+    out.reserve(records.size());
+    for (const auto &r : records)
+        out.push_back(core::binByInstructions(r.timeline, bin_ins,
+                                              metric));
+    return out;
+}
+
+double
+medianInstructions(const std::vector<RequestRecord> &records)
+{
+    std::vector<double> lens;
+    lens.reserve(records.size());
+    for (const auto &r : records)
+        lens.push_back(r.totals.instructions);
+    return stats::quantile(std::move(lens), 0.5);
+}
+
+double
+defaultBinIns(const std::vector<RequestRecord> &records,
+              std::size_t target_bins)
+{
+    const double med = medianInstructions(records);
+    if (med <= 0.0 || target_bins == 0)
+        return 1.0e5;
+    return std::max(1000.0, med / static_cast<double>(target_bins));
+}
+
+std::vector<double>
+syscallGapCdf(const std::vector<SyscallGap> &gaps,
+              const std::vector<double> &thresholds, bool time_domain)
+{
+    std::vector<double> out(thresholds.size(), 0.0);
+    double total = 0.0;
+    for (const auto &g : gaps)
+        total += time_domain ? g.cycles : g.instructions;
+    if (total <= 0.0)
+        return out;
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+        double covered = 0.0;
+        for (const auto &g : gaps) {
+            const double len = time_domain ? g.cycles
+                                           : g.instructions;
+            covered += std::min(len, thresholds[t]);
+        }
+        out[t] = covered / total;
+    }
+    return out;
+}
+
+std::vector<double>
+requestCpis(const std::vector<RequestRecord> &records)
+{
+    std::vector<double> out;
+    out.reserve(records.size());
+    for (const auto &r : records)
+        out.push_back(r.cpi());
+    return out;
+}
+
+std::vector<double>
+requestCpuCycles(const std::vector<RequestRecord> &records)
+{
+    std::vector<double> out;
+    out.reserve(records.size());
+    for (const auto &r : records)
+        out.push_back(r.cpuCycles());
+    return out;
+}
+
+std::vector<double>
+requestPeakCpis(const std::vector<RequestRecord> &records, double q)
+{
+    std::vector<double> out;
+    out.reserve(records.size());
+    for (const auto &r : records) {
+        std::vector<double> cpis;
+        cpis.reserve(r.timeline.periods.size());
+        for (const auto &p : r.timeline.periods)
+            if (p.instructions > 0.0)
+                cpis.push_back(p.cpi());
+        out.push_back(cpis.empty() ? r.cpi()
+                                   : stats::quantile(std::move(cpis),
+                                                     q));
+    }
+    return out;
+}
+
+double
+missesPerInsQuantile(const std::vector<RequestRecord> &records,
+                     double q)
+{
+    std::vector<double> vals;
+    for (const auto &r : records)
+        for (const auto &p : r.timeline.periods)
+            if (p.instructions > 0.0)
+                vals.push_back(p.l2MissesPerIns());
+    return stats::quantile(std::move(vals), q);
+}
+
+} // namespace rbv::exp

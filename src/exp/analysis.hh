@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared data reductions for the experiments: Eq. 1 coefficients of
+ * variation, request series extraction, and the Fig. 4 next-syscall
+ * distance CDF.
+ */
+
+#ifndef RBV_EXP_ANALYSIS_HH
+#define RBV_EXP_ANALYSIS_HH
+
+#include <vector>
+
+#include "exp/scenario.hh"
+
+namespace rbv::exp {
+
+/** Inter-request and inter+intra coefficients of variation (Fig. 3). */
+struct CovPair
+{
+    double inter = 0.0;
+    double withIntra = 0.0;
+};
+
+/**
+ * Overall metric value xbar of Eq. 1 over a record set: the ratio of
+ * event totals (e.g., total cycles / total instructions for CPI).
+ */
+double overallMetric(const std::vector<RequestRecord> &records,
+                     core::Metric metric);
+
+/**
+ * The metric's weight for Eq. 1: the denominator event count of the
+ * metric (instructions for CPI and per-instruction metrics,
+ * references for the miss ratio).
+ */
+double metricWeight(const sim::CounterSnapshot &c, core::Metric metric);
+
+/**
+ * Captured variation per Eq. 1 (Fig. 3): the inter-request CoV
+ * treats each request as one uniform period; the intra-capable CoV
+ * uses every sampled period of every timeline.
+ */
+CovPair covInterIntra(const std::vector<RequestRecord> &records,
+                      core::Metric metric);
+
+/**
+ * Coefficient of variation of a set of sampled periods around the
+ * set's own overall value (used for the transition-signal
+ * comparison, Sec. 3.2).
+ */
+double periodsCov(const std::vector<RequestRecord> &records,
+                  core::Metric metric);
+
+/** Binned metric series for each record's timeline. */
+std::vector<core::MetricSeries> seriesFor(
+    const std::vector<RequestRecord> &records, core::Metric metric,
+    double bin_ins);
+
+/** Median total instruction count over the records. */
+double medianInstructions(const std::vector<RequestRecord> &records);
+
+/**
+ * A reasonable signature bin width for a record set: the median
+ * request length divided by a target bin count.
+ */
+double defaultBinIns(const std::vector<RequestRecord> &records,
+                     std::size_t target_bins = 60);
+
+/**
+ * Next-syscall distance CDF (Fig. 4): the probability that, from an
+ * arbitrary instant of request execution, the next system call
+ * occurs within distance D. With gap lengths g, this is the
+ * length-biased statistic sum(min(g, D)) / sum(g).
+ *
+ * @param gaps       Observed gaps.
+ * @param thresholds Distances D (cycles or instructions).
+ * @param time_domain True: use gap.cycles; false: gap.instructions.
+ */
+std::vector<double> syscallGapCdf(const std::vector<SyscallGap> &gaps,
+                                  const std::vector<double> &thresholds,
+                                  bool time_domain);
+
+/** Per-request scalar extraction helpers. */
+std::vector<double> requestCpis(
+    const std::vector<RequestRecord> &records);
+std::vector<double> requestCpuCycles(
+    const std::vector<RequestRecord> &records);
+
+/**
+ * Peak (90-percentile) CPI within each request's timeline periods —
+ * the second classification target of Fig. 7.
+ */
+std::vector<double> requestPeakCpis(
+    const std::vector<RequestRecord> &records, double q = 0.90);
+
+/**
+ * The q-quantile of per-period L2 misses/instruction over all
+ * timelines: the high-resource-usage threshold of Sec. 5.2 (80th
+ * percentile).
+ */
+double missesPerInsQuantile(const std::vector<RequestRecord> &records,
+                            double q = 0.80);
+
+} // namespace rbv::exp
+
+#endif // RBV_EXP_ANALYSIS_HH

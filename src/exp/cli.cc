@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Command-line flag parsing implementation.
+ */
+
+#include "exp/cli.hh"
+
+#include <cstdlib>
+
+namespace rbv::exp {
+
+Cli::Cli(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+            continue;
+        }
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags[arg] = argv[i + 1];
+            ++i;
+        } else {
+            flags[arg] = "";
+        }
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return flags.count(name) > 0;
+}
+
+std::string
+Cli::getStr(const std::string &name, const std::string &def) const
+{
+    auto it = flags.find(name);
+    return it != flags.end() && !it->second.empty() ? it->second : def;
+}
+
+long
+Cli::getInt(const std::string &name, long def) const
+{
+    auto it = flags.find(name);
+    return it != flags.end() && !it->second.empty()
+               ? std::strtol(it->second.c_str(), nullptr, 10)
+               : def;
+}
+
+double
+Cli::getDouble(const std::string &name, double def) const
+{
+    auto it = flags.find(name);
+    return it != flags.end() && !it->second.empty()
+               ? std::strtod(it->second.c_str(), nullptr)
+               : def;
+}
+
+std::uint64_t
+Cli::getU64(const std::string &name, std::uint64_t def) const
+{
+    auto it = flags.find(name);
+    return it != flags.end() && !it->second.empty()
+               ? std::strtoull(it->second.c_str(), nullptr, 10)
+               : def;
+}
+
+} // namespace rbv::exp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the bench/example binaries.
+ *
+ * Flags are "--name value" or "--name" (boolean). Every bench accepts
+ * at least --seed and --requests so experiments are reproducible and
+ * scalable.
+ */
+
+#ifndef RBV_EXP_CLI_HH
+#define RBV_EXP_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rbv::exp {
+
+/** Parsed command-line flags. */
+class Cli
+{
+  public:
+    Cli(int argc, char **argv);
+
+    bool has(const std::string &name) const;
+
+    std::string getStr(const std::string &name,
+                       const std::string &def) const;
+    long getInt(const std::string &name, long def) const;
+    double getDouble(const std::string &name, double def) const;
+    std::uint64_t getU64(const std::string &name,
+                         std::uint64_t def) const;
+
+  private:
+    std::map<std::string, std::string> flags;
+};
+
+} // namespace rbv::exp
+
+#endif // RBV_EXP_CLI_HH

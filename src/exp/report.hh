@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Report helpers shared by the bench binaries: experiment banners and
+ * paper-vs-measured annotations.
+ */
+
+#ifndef RBV_EXP_REPORT_HH
+#define RBV_EXP_REPORT_HH
+
+#include <iostream>
+#include <string>
+
+namespace rbv::exp {
+
+/** Print an experiment banner with the paper's claim. */
+inline void
+banner(const std::string &id, const std::string &title,
+       const std::string &paper_claim)
+{
+    std::cout << "\n=== " << id << ": " << title << " ===\n";
+    if (!paper_claim.empty())
+        std::cout << "paper: " << paper_claim << "\n";
+    std::cout << "\n";
+}
+
+/** Print one "measured" summary line. */
+inline void
+measured(const std::string &text)
+{
+    std::cout << "measured: " << text << "\n";
+}
+
+} // namespace rbv::exp
+
+#endif // RBV_EXP_REPORT_HH

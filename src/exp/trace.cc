@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace export implementation.
+ */
+
+#include "exp/trace.hh"
+
+#include <iomanip>
+
+namespace rbv::exp {
+
+namespace {
+
+const char *
+triggerName(core::SampleTrigger t)
+{
+    switch (t) {
+      case core::SampleTrigger::ContextSwitch: return "cswitch";
+      case core::SampleTrigger::Interrupt: return "interrupt";
+      case core::SampleTrigger::Syscall: return "syscall";
+      case core::SampleTrigger::BackupInterrupt: return "backup";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+writeRecordsCsv(std::ostream &os,
+                const std::vector<RequestRecord> &records)
+{
+    os << "request,class,class_id,instructions,cycles,l2_refs,"
+          "l2_misses,cpi,l2_refs_per_ins,l2_misses_per_ins,"
+          "injected_cycle,completed_cycle,latency_cycles,"
+          "syscalls,sampled_periods\n";
+    os << std::setprecision(10);
+    for (const auto &r : records) {
+        os << r.id << ',' << r.className << ',' << r.classId << ','
+           << r.totals.instructions << ',' << r.totals.cycles << ','
+           << r.totals.l2Refs << ',' << r.totals.l2Misses << ','
+           << r.cpi() << ',' << r.l2RefsPerIns() << ','
+           << r.l2MissesPerIns() << ',' << r.injected << ','
+           << r.completed << ',' << (r.completed - r.injected) << ','
+           << r.syscalls.size() << ',' << r.timeline.periods.size()
+           << '\n';
+    }
+}
+
+void
+writeTimelinesCsv(std::ostream &os,
+                  const std::vector<RequestRecord> &records)
+{
+    os << "request,period,wall_start,trigger,instructions,cycles,"
+          "l2_refs,l2_misses,cpi,l2_misses_per_ins\n";
+    os << std::setprecision(10);
+    for (const auto &r : records) {
+        std::size_t idx = 0;
+        for (const auto &p : r.timeline.periods) {
+            if (p.instructions <= 0.0)
+                continue;
+            os << r.id << ',' << idx++ << ',' << p.wallStart << ','
+               << triggerName(p.trigger) << ',' << p.instructions
+               << ',' << p.cycles << ',' << p.l2Refs << ','
+               << p.l2Misses << ',' << p.cpi() << ','
+               << p.l2MissesPerIns() << '\n';
+        }
+    }
+}
+
+void
+writeSeriesCsv(std::ostream &os,
+               const std::vector<RequestRecord> &records,
+               double bin_ins)
+{
+    os << "request,class,bin,progress_ins,cpi,l2_refs_per_ins,"
+          "l2_miss_ratio\n";
+    os << std::setprecision(10);
+    for (const auto &r : records) {
+        const auto cpi = core::binByInstructions(r.timeline, bin_ins,
+                                                 core::Metric::Cpi);
+        const auto refs = core::binByInstructions(
+            r.timeline, bin_ins, core::Metric::L2RefsPerIns);
+        const auto miss = core::binByInstructions(
+            r.timeline, bin_ins, core::Metric::L2MissRatio);
+        const std::size_t n =
+            std::min({cpi.size(), refs.size(), miss.size()});
+        for (std::size_t i = 0; i < n; ++i) {
+            os << r.id << ',' << r.className << ',' << i << ','
+               << (static_cast<double>(i) + 0.5) * bin_ins << ','
+               << cpi[i] << ',' << refs[i] << ',' << miss[i] << '\n';
+        }
+    }
+}
+
+} // namespace rbv::exp

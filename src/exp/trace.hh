@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace export: CSV emission of per-request records and behavior
+ * timelines, so the experiment data can be analyzed with external
+ * tooling (spreadsheets, pandas, gnuplot).
+ */
+
+#ifndef RBV_EXP_TRACE_HH
+#define RBV_EXP_TRACE_HH
+
+#include <ostream>
+#include <vector>
+
+#include "exp/scenario.hh"
+
+namespace rbv::exp {
+
+/**
+ * One row per request: id, class, exact counter totals, derived
+ * metrics, wall-clock injection/completion, and syscall count.
+ */
+void writeRecordsCsv(std::ostream &os,
+                     const std::vector<RequestRecord> &records);
+
+/**
+ * Long-format timeline dump: one row per sampled period per request
+ * (request id, period index, wall start, trigger, counter deltas,
+ * derived metrics). Periods with no retired instructions are
+ * skipped.
+ */
+void writeTimelinesCsv(std::ostream &os,
+                       const std::vector<RequestRecord> &records);
+
+/**
+ * Binned-series dump for plotting Fig. 2-style curves: one row per
+ * (request, bin) with CPI, L2 refs/ins, and L2 miss ratio at the
+ * given bin width.
+ */
+void writeSeriesCsv(std::ostream &os,
+                    const std::vector<RequestRecord> &records,
+                    double bin_ins);
+
+} // namespace rbv::exp
+
+#endif // RBV_EXP_TRACE_HH

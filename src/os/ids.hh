@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Identifier types shared across the simulated operating system.
+ */
+
+#ifndef RBV_OS_IDS_HH
+#define RBV_OS_IDS_HH
+
+#include <cstdint>
+
+namespace rbv::os {
+
+/** Thread identifier (dense, assigned by the kernel). */
+using ThreadId = int;
+constexpr ThreadId InvalidThreadId = -1;
+
+/** Process identifier (one per server tier in the workloads). */
+using ProcessId = int;
+constexpr ProcessId InvalidProcessId = -1;
+
+/** Request identifier (one per user request, per Sec. 1's definition). */
+using RequestId = std::int64_t;
+constexpr RequestId InvalidRequestId = -1;
+
+/** Message channel identifier (sockets / IPC endpoints). */
+using ChannelId = int;
+constexpr ChannelId InvalidChannelId = -1;
+
+} // namespace rbv::os
+
+#endif // RBV_OS_IDS_HH

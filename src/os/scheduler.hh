@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scheduler policy interface and the default round-robin policy.
+ *
+ * The kernel keeps one runqueue per core (no migration, matching the
+ * paper's contention-easing prototype) and consults a policy object
+ * at every scheduling opportunity: dispatch after a block/exit,
+ * quantum expiry, and — when the policy requests it — periodic
+ * re-scheduling attempts (the paper's 5 ms interval).
+ */
+
+#ifndef RBV_OS_SCHEDULER_HH
+#define RBV_OS_SCHEDULER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "os/ids.hh"
+#include "sim/types.hh"
+
+namespace rbv::os {
+
+class Kernel;
+
+/**
+ * Pluggable CPU scheduling policy.
+ */
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    /** Scheduling quantum (Linux 2.6 default order: 100 ms). */
+    virtual sim::Tick
+    quantum() const
+    {
+        return sim::msToCycles(100.0);
+    }
+
+    /**
+     * Interval of periodic re-scheduling attempts; 0 disables them.
+     * The contention-easing policy uses 5 ms (Sec. 5.2).
+     */
+    virtual sim::Tick reschedInterval() const { return 0; }
+
+    /**
+     * Choose which candidate to run next on @p core.
+     *
+     * @param kernel     Kernel, for thread/request introspection.
+     * @param core       The core being scheduled.
+     * @param candidates Runnable candidates in runqueue order. At a
+     *                   re-scheduling attempt the currently running
+     *                   thread is candidates[0] (the paper keeps the
+     *                   current request at the head so that picking
+     *                   index 0 resumes without a context switch).
+     * @return Index into @p candidates.
+     */
+    virtual std::size_t
+    pickNext(Kernel &kernel, sim::CoreId core,
+             const std::vector<ThreadId> &candidates)
+    {
+        (void)kernel;
+        (void)core;
+        (void)candidates;
+        return 0;
+    }
+};
+
+/** Default policy: plain round-robin, 100 ms quanta. */
+class RoundRobinPolicy : public SchedulerPolicy
+{
+};
+
+} // namespace rbv::os
+
+#endif // RBV_OS_SCHEDULER_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * System call name table.
+ */
+
+#include "os/syscall.hh"
+
+namespace rbv::os {
+
+std::string_view
+sysName(Sys s)
+{
+    switch (s) {
+      case Sys::read: return "read";
+      case Sys::write: return "write";
+      case Sys::writev: return "writev";
+      case Sys::open: return "open";
+      case Sys::close: return "close";
+      case Sys::stat: return "stat";
+      case Sys::lseek: return "lseek";
+      case Sys::poll: return "poll";
+      case Sys::select: return "select";
+      case Sys::send: return "send";
+      case Sys::recv: return "recv";
+      case Sys::accept: return "accept";
+      case Sys::shutdown: return "shutdown";
+      case Sys::fsync: return "fsync";
+      case Sys::futex: return "futex";
+      case Sys::brk: return "brk";
+      case Sys::mmap: return "mmap";
+      case Sys::nanosleep: return "nanosleep";
+      case Sys::gettimeofday: return "gettimeofday";
+      case Sys::NumSyscalls: break;
+    }
+    return "?";
+}
+
+} // namespace rbv::os

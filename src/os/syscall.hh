@@ -1,0 +1,106 @@
+/**
+ * @file
+ * System call identifiers and kernel-side cost descriptions.
+ *
+ * The set covers the calls the paper's applications issue (Table 2
+ * and Fig. 4): file and socket I/O, metadata operations, and the
+ * polling/synchronization calls of the server loops.
+ */
+
+#ifndef RBV_OS_SYSCALL_HH
+#define RBV_OS_SYSCALL_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "os/ids.hh"
+
+namespace rbv::os {
+
+/** System call numbers. */
+enum class Sys : std::uint8_t
+{
+    read,
+    write,
+    writev,
+    open,
+    close,
+    stat,
+    lseek,
+    poll,
+    select,
+    send,
+    recv,
+    accept,
+    shutdown,
+    fsync,
+    futex,
+    brk,
+    mmap,
+    nanosleep,
+    gettimeofday,
+    NumSyscalls,
+};
+
+/** Number of distinct system calls. */
+constexpr int NumSys = static_cast<int>(Sys::NumSyscalls);
+
+/** Human-readable system call name. */
+std::string_view sysName(Sys s);
+
+/**
+ * How a system call interacts with the scheduler.
+ */
+enum class SysBehavior : std::uint8_t
+{
+    Plain,       ///< Kernel cost only; returns immediately.
+    BlockTimed,  ///< Blocks the caller for args.blockCycles.
+    ChannelSend, ///< Enqueue args.msg on args.channel; never blocks.
+    ChannelRecv, ///< Dequeue from args.channel; blocks when empty.
+};
+
+/** Message carried over a channel (socket/IPC payload descriptor). */
+struct Message
+{
+    RequestId request = InvalidRequestId;
+
+    /** Workload-defined tag (e.g., the stage index). */
+    std::uint64_t tag = 0;
+
+    /** Workload-defined payload (e.g., a RequestSpec pointer). */
+    const void *payload = nullptr;
+
+    /** Payload size in bytes (affects nothing but bookkeeping). */
+    double bytes = 0.0;
+};
+
+/**
+ * Arguments of one system call invocation. The kernel-side execution
+ * cost is explicit so workload models can shape it; the defaults are
+ * a generic short syscall.
+ */
+struct SyscallArgs
+{
+    SysBehavior behavior = SysBehavior::Plain;
+
+    /** Channel for send/recv behaviors. */
+    ChannelId channel = InvalidChannelId;
+
+    /** Message for ChannelSend. */
+    Message msg;
+
+    /** Block duration in cycles for BlockTimed. */
+    double blockCycles = 0.0;
+
+    /** @name Kernel-side execution cost (contention-immune). */
+    /// @{
+    double kernelInstructions = 1200.0;
+    double kernelCpi = 1.7;
+    double kernelRefsPerIns = 0.012;
+    double kernelMissRatio = 0.03;
+    /// @}
+};
+
+} // namespace rbv::os
+
+#endif // RBV_OS_SYSCALL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Thread actions and the thread logic interface.
+ *
+ * A thread's behavior is supplied by a ThreadLogic object (the
+ * workload). The kernel repeatedly asks the logic for its next
+ * action: execute a burst of user instructions under a hardware
+ * behavior description, issue a system call, or exit. Messages
+ * received through channel recv are delivered to the logic before
+ * the next action is requested.
+ */
+
+#ifndef RBV_OS_THREAD_HH
+#define RBV_OS_THREAD_HH
+
+#include <variant>
+
+#include "os/syscall.hh"
+#include "sim/machine.hh"
+
+namespace rbv::os {
+
+/** Execute user instructions under the given hardware behavior. */
+struct ActExec
+{
+    sim::WorkParams params;
+    double instructions = 0.0;
+};
+
+/** Issue a system call. */
+struct ActSyscall
+{
+    Sys id = Sys::gettimeofday;
+    SyscallArgs args;
+};
+
+/** Terminate the thread. */
+struct ActExit
+{
+};
+
+/** One scheduling action of a thread. */
+using Action = std::variant<ActExec, ActSyscall, ActExit>;
+
+/**
+ * Workload-supplied behavior of one thread.
+ */
+class ThreadLogic
+{
+  public:
+    virtual ~ThreadLogic() = default;
+
+    /**
+     * The kernel needs the thread's next action. Called after the
+     * previous action finished (instructions retired, syscall
+     * returned) and, for the first time, when the thread first runs.
+     */
+    virtual Action next() = 0;
+
+    /**
+     * A channel recv completed with this message. Called before the
+     * subsequent next(). The thread's request context has already
+     * been switched to the message's request.
+     */
+    virtual void onMessage(const Message &msg) { (void)msg; }
+};
+
+} // namespace rbv::os
+
+#endif // RBV_OS_THREAD_HH

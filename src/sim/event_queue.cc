@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Discrete event queue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace rbv::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    assert(when >= curTick && "cannot schedule into the past");
+    const EventId id = nextId++;
+    heap.push(Entry{when, nextSeq++, id});
+    pending.emplace(id, std::move(cb));
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return pending.erase(id) > 0;
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    // The heap top may be a cancelled entry, but nextTick() is only a
+    // hint; runOne() skips cancelled entries properly. Scan a copy-free
+    // approximation: cancelled entries never make the reported tick
+    // later than the true next tick.
+    return heap.empty() ? curTick : heap.top().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap.empty()) {
+        const Entry top = heap.top();
+        heap.pop();
+        auto it = pending.find(top.id);
+        if (it == pending.end())
+            continue; // lazily cancelled
+        Callback cb = std::move(it->second);
+        pending.erase(it);
+        assert(top.when >= curTick);
+        curTick = top.when;
+        ++fired;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    stopRequested = false;
+    while (!stopRequested) {
+        // Skip over cancelled heap tops to find the true next event.
+        while (!heap.empty() && !pending.count(heap.top().id))
+            heap.pop();
+        if (heap.empty())
+            break;
+        if (heap.top().when > limit) {
+            curTick = limit;
+            break;
+        }
+        runOne();
+    }
+}
+
+} // namespace rbv::sim

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Multicore machine model implementation.
+ */
+
+#include "sim/machine.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace rbv::sim {
+
+namespace {
+
+/** Instructions below this are treated as retired. */
+constexpr double InsEpsilon = 1e-6;
+
+/** Cycles below this are treated as elapsed. */
+constexpr double CycleEpsilon = 1e-6;
+
+/** Fixed-point iterations for the CPI / memory-latency solve. */
+constexpr int CpiSolveIterations = 6;
+
+} // namespace
+
+Machine::Machine(const MachineConfig &cfg, EventQueue &eq,
+                 CoreClient *client)
+    : cfg(cfg), eq(eq), client(client), cores(cfg.numCores),
+      memory(cfg.memory), memLatency(cfg.memory.baseLatencyCycles),
+      lastSync(eq.now())
+{
+    assert(cfg.numCores > 0);
+    assert(cfg.coresPerL2Domain > 0);
+    const int domains =
+        (cfg.numCores + cfg.coresPerL2Domain - 1) / cfg.coresPerL2Domain;
+    domainInsertion.assign(domains, 0.0);
+
+    if (cfg.modelRefreshInterval > 0) {
+        eq.scheduleIn(cfg.modelRefreshInterval, [this] {
+            refreshFired();
+        });
+    }
+}
+
+double
+Machine::fixedCyclesPending(const CoreState &c)
+{
+    double total = 0.0;
+    for (const auto &fw : c.fixedQueue)
+        total += fw.cycles;
+    return total;
+}
+
+void
+Machine::advanceCore(CoreState &c, int domain, double dt)
+{
+    double left = dt;
+    double busyCycles = 0.0;
+
+    // Drain fixed work first. Fixed work is contention-immune: its
+    // events accrue linearly over its cycle budget, and the thread's
+    // regular footprint decays under co-runner pressure meanwhile.
+    while (left > CycleEpsilon && !c.fixedQueue.empty()) {
+        FixedWork &fw = c.fixedQueue.front();
+        const double take = std::min(left, fw.cycles);
+        const double frac = fw.cycles > 0.0 ? take / fw.cycles : 1.0;
+
+        const double ins = fw.instructions * frac;
+        const double refs = fw.l2Refs * frac;
+        const double misses = fw.l2Misses * frac;
+        c.counters.accrue(take, ins, refs, misses);
+        domainInsertion[domain] += misses * CacheLineBytes;
+
+        c.occupancy = advanceOccupancy(c.occupancy, c.targetOcc, 0.0,
+                                       c.coPressure, cfg.l2CapacityBytes,
+                                       take);
+
+        fw.cycles -= take;
+        fw.instructions -= ins;
+        fw.l2Refs -= refs;
+        fw.l2Misses -= misses;
+        if (fw.cycles <= CycleEpsilon)
+            c.fixedQueue.pop_front();
+
+        left -= take;
+        busyCycles += take;
+    }
+
+    // Regular work for the remainder of the window.
+    if (left > CycleEpsilon && c.busy) {
+        double ins = c.insPerCycle * left;
+        ins = std::min(ins, c.insRemaining);
+        const double refs = ins * c.params.refsPerIns;
+        const double misses = refs * c.missRatio;
+        c.counters.accrue(left, ins, refs, misses);
+        domainInsertion[domain] += misses * CacheLineBytes;
+
+        c.occupancy = advanceOccupancy(
+            c.occupancy, c.targetOcc, c.fillBytesPerCycle, c.coPressure,
+            cfg.l2CapacityBytes, left);
+
+        c.insRemaining -= ins;
+        if (c.insRemaining < InsEpsilon)
+            c.insRemaining = 0.0;
+        busyCycles += left;
+    }
+
+    if (c.timerArmed) {
+        c.timerRemaining -= busyCycles;
+        if (c.timerRemaining < 0.0)
+            c.timerRemaining = 0.0;
+    }
+}
+
+void
+Machine::resync()
+{
+    const Tick now = eq.now();
+    if (now == lastSync)
+        return;
+    assert(now > lastSync);
+    const double dt = static_cast<double>(now - lastSync);
+    for (CoreId i = 0; i < cfg.numCores; ++i)
+        advanceCore(cores[i], domainOf(i), dt);
+    lastSync = now;
+}
+
+void
+Machine::recomputeRates()
+{
+    const int num_domains = static_cast<int>(domainInsertion.size());
+
+    // Pass 1: per-domain occupancy targets by demand-weighted
+    // water-filling, with demand approximated by each runner's L2
+    // reference pressure (references per cycle at its current CPI).
+    for (int d = 0; d < num_domains; ++d) {
+        std::vector<CoreId> runners;
+        std::vector<double> weights, wsets;
+        for (CoreId i = 0; i < cfg.numCores; ++i) {
+            if (domainOf(i) != d || !cores[i].busy)
+                continue;
+            runners.push_back(i);
+            const auto &c = cores[i];
+            const double cpi = c.effCpi > 0.0 ? c.effCpi
+                                              : c.params.baseCpi;
+            weights.push_back(c.params.refsPerIns / cpi);
+            wsets.push_back(c.params.curve.workingSetBytes);
+        }
+        const auto targets =
+            waterFillTargets(cfg.l2CapacityBytes, weights, wsets);
+        for (std::size_t k = 0; k < runners.size(); ++k)
+            cores[runners[k]].targetOcc = targets[k];
+    }
+
+    // Pass 2: miss ratios from current occupancies.
+    for (CoreId i = 0; i < cfg.numCores; ++i) {
+        auto &c = cores[i];
+        if (c.busy)
+            c.missRatio = c.params.curve.missRatioAt(c.occupancy);
+        else
+            c.missRatio = 0.0;
+    }
+
+    // Pass 3: fixed-point solve of the coupled CPI / memory-latency
+    // system. More aggregate miss bandwidth raises the effective miss
+    // latency, which slows every core down, which lowers bandwidth:
+    // a contraction that converges in a few iterations.
+    for (CoreId i = 0; i < cfg.numCores; ++i) {
+        auto &c = cores[i];
+        if (c.busy && c.effCpi <= 0.0)
+            c.effCpi = c.params.baseCpi;
+    }
+    double lat = memLatency;
+    for (int it = 0; it < CpiSolveIterations; ++it) {
+        double miss_bw = 0.0;
+        for (CoreId i = 0; i < cfg.numCores; ++i) {
+            const auto &c = cores[i];
+            if (!c.busy)
+                continue;
+            const double refs_per_cycle =
+                c.params.refsPerIns / std::max(c.effCpi, 1e-9);
+            miss_bw += refs_per_cycle * c.missRatio * CacheLineBytes;
+        }
+        lat = memory.latencyAt(miss_bw);
+        for (CoreId i = 0; i < cfg.numCores; ++i) {
+            auto &c = cores[i];
+            if (!c.busy)
+                continue;
+            c.effCpi = c.params.baseCpi +
+                       c.params.refsPerIns *
+                           ((1.0 - c.missRatio) *
+                                cfg.l2HitLatencyCycles +
+                            c.missRatio * lat);
+        }
+    }
+    memLatency = lat;
+
+    // Pass 4: derived fill rates and co-runner pressure.
+    for (CoreId i = 0; i < cfg.numCores; ++i) {
+        auto &c = cores[i];
+        if (!c.busy) {
+            c.insPerCycle = 0.0;
+            c.fillBytesPerCycle = 0.0;
+            continue;
+        }
+        c.insPerCycle = 1.0 / std::max(c.effCpi, 1e-9);
+        c.fillBytesPerCycle = c.params.refsPerIns * c.insPerCycle *
+                              c.missRatio * CacheLineBytes;
+    }
+    for (CoreId i = 0; i < cfg.numCores; ++i) {
+        auto &c = cores[i];
+        c.coPressure = 0.0;
+        for (CoreId j = 0; j < cfg.numCores; ++j) {
+            if (j == i || domainOf(j) != domainOf(i))
+                continue;
+            c.coPressure += cores[j].fillBytesPerCycle;
+        }
+    }
+}
+
+void
+Machine::scheduleBoundaries()
+{
+    for (CoreId i = 0; i < cfg.numCores; ++i) {
+        auto &c = cores[i];
+
+        if (c.boundaryEv != InvalidEventId) {
+            eq.cancel(c.boundaryEv);
+            c.boundaryEv = InvalidEventId;
+        }
+        if (c.timerEv != InvalidEventId) {
+            eq.cancel(c.timerEv);
+            c.timerEv = InvalidEventId;
+        }
+
+        const double fixed = fixedCyclesPending(c);
+        double completion = -1.0; // cycles until busy work retires
+        if (c.busy) {
+            completion = fixed + c.insRemaining /
+                                     std::max(c.insPerCycle, 1e-12);
+        } else if (fixed > 0.0) {
+            completion = fixed;
+        }
+
+        if (completion >= 0.0) {
+            const Tick when =
+                eq.now() + static_cast<Tick>(std::ceil(completion));
+            c.boundaryEv = eq.schedule(when, [this, i] {
+                boundaryFired(i);
+            });
+        }
+
+        if (c.timerArmed) {
+            // The timer counts non-halt cycles; while the core stays
+            // busy they track wall time 1:1. If the timer would fire
+            // after the next boundary, the boundary's rescheduling
+            // pass re-examines it.
+            const double busy_horizon = completion >= 0.0
+                                            ? completion
+                                            : 0.0;
+            if (c.timerRemaining <= busy_horizon ||
+                (c.busy && completion < 0.0)) {
+                const Tick when =
+                    eq.now() +
+                    static_cast<Tick>(std::ceil(c.timerRemaining));
+                c.timerEv = eq.schedule(when, [this, i] {
+                    timerFired(i);
+                });
+            }
+        }
+    }
+}
+
+void
+Machine::boundaryFired(CoreId core)
+{
+    resync();
+    auto &c = cores[core];
+    c.boundaryEv = InvalidEventId;
+
+    const bool completed = c.busy && c.insRemaining <= 0.0 &&
+                           c.fixedQueue.empty();
+    if (completed) {
+        c.busy = false;
+        recomputeRates();
+        if (client)
+            client->onWorkComplete(core);
+    }
+
+    recomputeRates();
+    scheduleBoundaries();
+}
+
+void
+Machine::timerFired(CoreId core)
+{
+    resync();
+    auto &c = cores[core];
+    c.timerEv = InvalidEventId;
+
+    if (!c.timerArmed || c.timerRemaining > CycleEpsilon) {
+        // Stale or rescheduled; boundary passes will re-arm.
+        recomputeRates();
+        scheduleBoundaries();
+        return;
+    }
+
+    c.timerArmed = false;
+    auto cb = std::move(c.timerCb);
+    c.timerCb = nullptr;
+    if (cb)
+        cb();
+
+    recomputeRates();
+    scheduleBoundaries();
+}
+
+void
+Machine::refreshFired()
+{
+    resync();
+    recomputeRates();
+    scheduleBoundaries();
+    eq.scheduleIn(cfg.modelRefreshInterval, [this] { refreshFired(); });
+}
+
+void
+Machine::setWork(CoreId core, const WorkParams &params,
+                 double instructions)
+{
+    assert(params.baseCpi > 0.0);
+    resync();
+    auto &c = cores[core];
+    c.busy = instructions > 0.0;
+    c.params = params;
+    c.insRemaining = std::max(instructions, 0.0);
+    c.effCpi = params.baseCpi; // seed for the fixed-point solve
+    recomputeRates();
+    scheduleBoundaries();
+}
+
+void
+Machine::clearWork(CoreId core)
+{
+    resync();
+    auto &c = cores[core];
+    c.busy = false;
+    c.insRemaining = 0.0;
+    recomputeRates();
+    scheduleBoundaries();
+}
+
+double
+Machine::insRemaining(CoreId core)
+{
+    resync();
+    return cores[core].insRemaining;
+}
+
+void
+Machine::pushFixedWork(CoreId core, const FixedWork &work)
+{
+    resync();
+    if (work.cycles > 0.0)
+        cores[core].fixedQueue.push_back(work);
+    else
+        cores[core].counters.accrue(0.0, work.instructions, work.l2Refs,
+                                    work.l2Misses);
+    recomputeRates();
+    scheduleBoundaries();
+}
+
+double
+Machine::occupancy(CoreId core)
+{
+    resync();
+    return cores[core].occupancy;
+}
+
+void
+Machine::setOccupancy(CoreId core, double bytes)
+{
+    resync();
+    cores[core].occupancy =
+        std::clamp(bytes, 0.0, cfg.l2CapacityBytes);
+    recomputeRates();
+    scheduleBoundaries();
+}
+
+double
+Machine::domainInsertionIntegral(CoreId core)
+{
+    resync();
+    return domainInsertion[domainOf(core)];
+}
+
+const PerfCounters &
+Machine::counters(CoreId core)
+{
+    resync();
+    return cores[core].counters;
+}
+
+PerfCounters &
+Machine::programCounters(CoreId core)
+{
+    resync();
+    return cores[core].counters;
+}
+
+void
+Machine::armCycleTimer(CoreId core, double cycles,
+                       std::function<void()> cb)
+{
+    resync();
+    auto &c = cores[core];
+    c.timerArmed = true;
+    c.timerRemaining = std::max(cycles, 0.0);
+    c.timerCb = std::move(cb);
+    scheduleBoundaries();
+}
+
+void
+Machine::disarmCycleTimer(CoreId core)
+{
+    resync();
+    auto &c = cores[core];
+    c.timerArmed = false;
+    c.timerCb = nullptr;
+    if (c.timerEv != InvalidEventId) {
+        eq.cancel(c.timerEv);
+        c.timerEv = InvalidEventId;
+    }
+}
+
+} // namespace rbv::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Memory subsystem model: miss latency under bandwidth contention.
+ *
+ * All cores share one front-side bus / memory controller. The
+ * effective L2 miss latency grows with aggregate miss bandwidth
+ * through an M/M/1-style queueing factor, which is what couples the
+ * cores outside their L2 domains and makes fine-grained requests
+ * (small working sets, bandwidth-bound) sensitive to co-runners, as
+ * Section 5.2 of the paper observes.
+ */
+
+#ifndef RBV_SIM_MEMORY_HH
+#define RBV_SIM_MEMORY_HH
+
+#include <algorithm>
+
+namespace rbv::sim {
+
+/** Memory model parameters. */
+struct MemoryParams
+{
+    /** Unloaded L2 miss service latency in cycles (DRAM round trip). */
+    double baseLatencyCycles = 220.0;
+
+    /**
+     * Peak sustainable miss bandwidth in bytes per cycle. The paper's
+     * platform has a 1333 MT/s FSB (~10.6 GB/s) against 3 GHz cores,
+     * i.e. about 3.55 bytes per core cycle.
+     */
+    double peakBytesPerCycle = 3.55;
+
+    /** Utilization cap to keep the queueing factor finite. */
+    double maxUtilization = 0.95;
+};
+
+/**
+ * Stateless memory latency model.
+ */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(MemoryParams p = MemoryParams{}) : params(p) {}
+
+    /**
+     * Effective miss latency (cycles) at the given aggregate miss
+     * bandwidth (bytes per cycle over all cores).
+     */
+    double
+    latencyAt(double miss_bytes_per_cycle) const
+    {
+        const double u = std::clamp(
+            miss_bytes_per_cycle / params.peakBytesPerCycle, 0.0,
+            params.maxUtilization);
+        return params.baseLatencyCycles / (1.0 - u);
+    }
+
+    double baseLatency() const { return params.baseLatencyCycles; }
+    const MemoryParams &parameters() const { return params; }
+
+  private:
+    MemoryParams params;
+};
+
+} // namespace rbv::sim
+
+#endif // RBV_SIM_MEMORY_HH

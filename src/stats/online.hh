@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Online (streaming) statistics: Welford mean/variance, weighted
+ * coefficient of variation (paper Eq. 1), and weighted root mean square
+ * error (paper Eq. 7).
+ */
+
+#ifndef RBV_STATS_ONLINE_HH
+#define RBV_STATS_ONLINE_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace rbv::stats {
+
+/**
+ * Welford online mean / variance accumulator.
+ *
+ * Used, among other places, to maintain the per-system-call-name CPI
+ * change statistics of Section 3.2 (Table 2) in a single pass.
+ */
+class OnlineMeanVar
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - mu;
+        mu += delta / static_cast<double>(n);
+        m2 += delta * (x - mu);
+    }
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Population variance (n denominator). */
+    double
+    variance() const
+    {
+        return n ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 points. */
+    double
+    sampleVariance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double sampleStddev() const { return std::sqrt(sampleVariance()); }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const OnlineMeanVar &other)
+    {
+        if (other.n == 0)
+            return;
+        if (n == 0) {
+            *this = other;
+            return;
+        }
+        const double delta = other.mu - mu;
+        const std::size_t total = n + other.n;
+        mu += delta * static_cast<double>(other.n) /
+              static_cast<double>(total);
+        m2 += other.m2 + delta * delta *
+              static_cast<double>(n) * static_cast<double>(other.n) /
+              static_cast<double>(total);
+        n = total;
+    }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+};
+
+/**
+ * Weighted coefficient of variation as defined by the paper's Eq. 1:
+ *
+ *   CoV = sqrt( sum_i t_i (x_i - xbar)^2 / sum_i t_i ) / xbar
+ *
+ * where xbar is the overall metric value for the whole execution,
+ * supplied by the caller (it is the ratio of event totals, not the
+ * weighted mean of the x_i, although the two coincide when the weights
+ * are the denominators of the x_i ratios).
+ */
+class WeightedCov
+{
+  public:
+    /** Add one execution period of weight (length) t and metric x. */
+    void
+    add(double t, double x)
+    {
+        sumT += t;
+        sumTX += t * x;
+        sumTXX += t * x * x;
+    }
+
+    double totalWeight() const { return sumT; }
+
+    /** Weighted mean of the metric values. */
+    double
+    weightedMean() const
+    {
+        return sumT > 0.0 ? sumTX / sumT : 0.0;
+    }
+
+    /**
+     * Coefficient of variation around the given overall value xbar.
+     * Returns 0 when no data or xbar == 0.
+     */
+    double
+    cov(double xbar) const
+    {
+        if (sumT <= 0.0 || xbar == 0.0)
+            return 0.0;
+        // E_w[(x - xbar)^2] = E_w[x^2] - 2 xbar E_w[x] + xbar^2
+        const double ex = sumTX / sumT;
+        const double exx = sumTXX / sumT;
+        double var = exx - 2.0 * xbar * ex + xbar * xbar;
+        if (var < 0.0)
+            var = 0.0;
+        return std::sqrt(var) / xbar;
+    }
+
+    /** CoV around the weighted mean. */
+    double cov() const { return cov(weightedMean()); }
+
+  private:
+    double sumT = 0.0;
+    double sumTX = 0.0;
+    double sumTXX = 0.0;
+};
+
+/**
+ * Weighted root mean square error, paper Eq. 7:
+ *
+ *   RMSE = sqrt( sum_i t_i (x_i - xhat_i)^2 / sum_i t_i )
+ */
+class WeightedRmse
+{
+  public:
+    /** Add one period with actual value x and predicted value xhat. */
+    void
+    add(double t, double x, double xhat)
+    {
+        const double e = x - xhat;
+        sumT += t;
+        sumTE2 += t * e * e;
+    }
+
+    double totalWeight() const { return sumT; }
+
+    double
+    rmse() const
+    {
+        return sumT > 0.0 ? std::sqrt(sumTE2 / sumT) : 0.0;
+    }
+
+  private:
+    double sumT = 0.0;
+    double sumTE2 = 0.0;
+};
+
+} // namespace rbv::stats
+
+#endif // RBV_STATS_ONLINE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Zipf sampler implementation.
+ */
+
+#include "stats/rng.hh"
+
+#include <algorithm>
+
+namespace rbv::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+{
+    cdf.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf[i] = acc;
+    }
+    for (auto &c : cdf)
+        c /= acc;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        return cdf.size() - 1;
+    return static_cast<std::size_t>(it - cdf.begin());
+}
+
+} // namespace rbv::stats

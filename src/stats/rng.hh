@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * Every stochastic choice in the simulator and the workload generators
+ * flows from one of these generators so that a (seed, parameters) pair
+ * fully determines an experiment run.
+ */
+
+#ifndef RBV_STATS_RNG_HH
+#define RBV_STATS_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rbv::stats {
+
+/**
+ * SplitMix64 generator, used to expand a single 64-bit seed into the
+ * state of larger generators and for cheap one-off draws.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * xoshiro256** generator: fast, high-quality, 256-bit state.
+ *
+ * This is the workhorse generator used by workload generators and the
+ * simulator. It satisfies the C++ UniformRandomBitGenerator concept.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed the 256-bit state from a 64-bit seed via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s)
+            word = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Lemire-style rejection-free-enough mapping; bias is
+        // negligible for the ranges we use (n << 2^64).
+        return static_cast<std::uint64_t>(uniform() * n);
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(1.0 - u);
+    }
+
+    /** Standard normal via Marsaglia polar method. */
+    double
+    normal()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u, v, q;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            q = u * u + v * v;
+        } while (q >= 1.0 || q == 0.0);
+        const double f = std::sqrt(-2.0 * std::log(q) / q);
+        spare = v * f;
+        haveSpare = true;
+        return u * f;
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Log-normal with the given location/scale of the underlying. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(normal(mu, sigma));
+    }
+
+    /**
+     * Draw an index from a discrete distribution given by weights.
+     * Weights need not be normalized; an empty vector is an error
+     * reported by returning 0.
+     */
+    std::size_t
+    discrete(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        if (total <= 0.0 || weights.empty())
+            return 0;
+        double x = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            x -= weights[i];
+            if (x < 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** Split off an independent child generator (for sub-components). */
+    Rng
+    split()
+    {
+        return Rng(operator()());
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4] = {};
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n) with exponent theta.
+ * Uses a precomputed CDF; intended for modest n (file populations,
+ * item catalogs).
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double theta);
+
+    /** Draw one sample. */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace rbv::stats
+
+#endif // RBV_STATS_RNG_HH

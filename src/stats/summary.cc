@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Batch summary statistics implementation.
+ */
+
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+namespace rbv::stats {
+
+namespace {
+
+double
+sortedQuantile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double h = p * static_cast<double>(sorted.size() - 1);
+    const auto i = static_cast<std::size_t>(h);
+    if (i + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = h - static_cast<double>(i);
+    return sorted[i] + frac * (sorted[i + 1] - sorted[i]);
+}
+
+} // namespace
+
+double
+quantile(std::vector<double> values, double p)
+{
+    std::sort(values.begin(), values.end());
+    return sortedQuantile(values, p);
+}
+
+std::vector<double>
+quantiles(std::vector<double> values, const std::vector<double> &ps)
+{
+    std::sort(values.begin(), values.end());
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (double p : ps)
+        out.push_back(sortedQuantile(values, p));
+    return out;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double width, std::size_t bins)
+    : lo(lo), width(width), counts(bins, 0)
+{
+}
+
+void
+Histogram::add(double x)
+{
+    ++totalCount;
+    if (x < lo) {
+        ++under;
+        return;
+    }
+    const double rel = (x - lo) / width;
+    const auto bin = static_cast<std::size_t>(rel);
+    if (bin >= counts.size()) {
+        ++over;
+        return;
+    }
+    ++counts[bin];
+}
+
+double
+Histogram::probability(std::size_t i) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(counts[i]) /
+           static_cast<double>(totalCount);
+}
+
+std::string
+Histogram::ascii(std::size_t barWidth) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts[i]) * barWidth /
+            static_cast<double>(peak));
+        os.setf(std::ios::fixed);
+        os.precision(3);
+        os << "  [" << binLo(i) << ", " << (binLo(i) + width) << ") "
+           << std::string(bar, '#') << "  " << probability(i) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rbv::stats

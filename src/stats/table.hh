@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Aligned text table printer for the bench binaries' paper-style
+ * tables (and optional CSV emission).
+ */
+
+#ifndef RBV_STATS_TABLE_HH
+#define RBV_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rbv::stats {
+
+/**
+ * Simple aligned table: a header row plus data rows of strings.
+ * Cells are padded to the widest entry of their column.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Format as a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV to the stream. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace rbv::stats
+
+#endif // RBV_STATS_TABLE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Application registry implementation.
+ */
+
+#include "wl/apps.hh"
+
+#include <stdexcept>
+
+#include "wl/rubis.hh"
+#include "wl/tpcc.hh"
+#include "wl/tpch.hh"
+#include "wl/webserver.hh"
+#include "wl/webwork.hh"
+
+namespace rbv::wl {
+
+const std::vector<App> &
+allApps()
+{
+    static const std::vector<App> apps = {
+        App::WebServer, App::Tpcc, App::Tpch, App::Rubis, App::WebWork,
+    };
+    return apps;
+}
+
+std::string
+appDisplayName(App app)
+{
+    switch (app) {
+      case App::WebServer: return "Web server";
+      case App::Tpcc: return "TPCC";
+      case App::Tpch: return "TPCH";
+      case App::Rubis: return "RUBiS";
+      case App::WebWork: return "WeBWorK";
+    }
+    return "?";
+}
+
+App
+appFromName(const std::string &name)
+{
+    if (name == "webserver" || name == "web")
+        return App::WebServer;
+    if (name == "tpcc")
+        return App::Tpcc;
+    if (name == "tpch")
+        return App::Tpch;
+    if (name == "rubis")
+        return App::Rubis;
+    if (name == "webwork")
+        return App::WebWork;
+    throw std::invalid_argument("unknown application: " + name);
+}
+
+std::unique_ptr<Generator>
+makeGenerator(App app)
+{
+    switch (app) {
+      case App::WebServer:
+        return std::make_unique<WebServerGen>();
+      case App::Tpcc:
+        return std::make_unique<TpccGen>();
+      case App::Tpch:
+        return std::make_unique<TpchGen>();
+      case App::Rubis:
+        return std::make_unique<RubisGen>();
+      case App::WebWork:
+        return std::make_unique<WebWorkGen>();
+    }
+    throw std::invalid_argument("unknown application");
+}
+
+} // namespace rbv::wl

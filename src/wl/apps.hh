@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Application registry: the paper's five server applications.
+ */
+
+#ifndef RBV_WL_APPS_HH
+#define RBV_WL_APPS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wl/generator.hh"
+
+namespace rbv::wl {
+
+/** The five server applications of the paper. */
+enum class App
+{
+    WebServer,
+    Tpcc,
+    Tpch,
+    Rubis,
+    WebWork,
+};
+
+/** All applications in the paper's presentation order. */
+const std::vector<App> &allApps();
+
+/** Display name ("Web server", "TPCC", ...). */
+std::string appDisplayName(App app);
+
+/** Parse an application name ("webserver", "tpcc", ...). */
+App appFromName(const std::string &name);
+
+/** Construct the generator of an application. */
+std::unique_ptr<Generator> makeGenerator(App app);
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_APPS_HH

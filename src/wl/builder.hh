@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small helpers for composing request segments in the application
+ * generators.
+ */
+
+#ifndef RBV_WL_BUILDER_HH
+#define RBV_WL_BUILDER_HH
+
+#include "sim/types.hh"
+#include "wl/spec.hh"
+
+namespace rbv::wl {
+
+/** Kibibytes/mebibytes to bytes. */
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * 1024.0;
+
+/** Build a plain execution segment. */
+inline SegmentSpec
+seg(double instructions, double base_cpi, double refs_per_ins,
+    double working_set_bytes, double base_miss_ratio,
+    double curve_exp = 1.0)
+{
+    SegmentSpec s;
+    s.instructions = instructions;
+    s.params.baseCpi = base_cpi;
+    s.params.refsPerIns = refs_per_ins;
+    s.params.curve.workingSetBytes = working_set_bytes;
+    s.params.curve.baseMissRatio = base_miss_ratio;
+    s.params.curve.exponent = curve_exp;
+    return s;
+}
+
+/** Attach a plain (non-blocking) entry system call to a segment. */
+inline SegmentSpec
+withSys(SegmentSpec s, os::Sys id, double kernel_ins = 1200.0,
+        double kernel_cpi = 1.7)
+{
+    s.hasSyscall = true;
+    s.sysId = id;
+    s.sysArgs.behavior = os::SysBehavior::Plain;
+    s.sysArgs.kernelInstructions = kernel_ins;
+    s.sysArgs.kernelCpi = kernel_cpi;
+    return s;
+}
+
+/** Attach a blocking entry system call (I/O wait) to a segment. */
+inline SegmentSpec
+withBlockingSys(SegmentSpec s, os::Sys id, double block_us,
+                double kernel_ins = 2000.0, double kernel_cpi = 1.8)
+{
+    s.hasSyscall = true;
+    s.sysId = id;
+    s.sysArgs.behavior = os::SysBehavior::BlockTimed;
+    s.sysArgs.blockCycles = sim::usToCycles(block_us);
+    s.sysArgs.kernelInstructions = kernel_ins;
+    s.sysArgs.kernelCpi = kernel_cpi;
+    return s;
+}
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_BUILDER_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Workload generator interface.
+ *
+ * Each of the paper's five server applications is modeled by a
+ * Generator that emits RequestSpec objects calibrated to the
+ * statistics the paper reports (Sec. 2.1): request lengths, system
+ * call densities (Fig. 4), CPI clusters (Fig. 1), and intra-request
+ * variation structure (Figs. 2 and 3).
+ */
+
+#ifndef RBV_WL_GENERATOR_HH
+#define RBV_WL_GENERATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hh"
+#include "wl/spec.hh"
+
+namespace rbv::wl {
+
+/**
+ * Abstract workload generator.
+ */
+class Generator
+{
+  public:
+    virtual ~Generator() = default;
+
+    /** Short application name ("webserver", "tpcc", ...). */
+    virtual std::string appName() const = 0;
+
+    /** Server tiers this application runs on. */
+    virtual std::vector<TierSpec> tiers() const = 0;
+
+    /** Generate one request. */
+    virtual std::unique_ptr<RequestSpec> generate(stats::Rng &rng) = 0;
+
+    /**
+     * Default periodic sampling period in microseconds (Sec. 3.1:
+     * 10 us for the web server, 100 us for TPCC/RUBiS, 1 ms for
+     * TPCH/WeBWorK).
+     */
+    virtual double defaultSamplingPeriodUs() const = 0;
+
+    /** Default number of closed-loop virtual users. */
+    virtual int defaultConcurrency() const = 0;
+
+    /** Mean client think time between requests (microseconds). */
+    virtual double thinkTimeUs() const { return 1000.0; }
+};
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_GENERATOR_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Microbenchmark behavior parameters.
+ */
+
+#include "wl/mbench.hh"
+
+namespace rbv::wl {
+
+sim::WorkParams
+mbenchParams(Mbench which)
+{
+    sim::WorkParams p;
+    switch (which) {
+      case Mbench::Spin:
+        // Tight register loop: superscalar, no L2 traffic.
+        p.baseCpi = 0.34;
+        p.refsPerIns = 0.0;
+        p.curve = sim::MissCurve{0.0, 0.0, 1.0};
+        break;
+      case Mbench::Data:
+        // Sequential streaming over 16 MB: every reference misses
+        // the 4 MB L2.
+        p.baseCpi = 0.70;
+        p.refsPerIns = 0.020;
+        p.curve = sim::MissCurve{16.0 * 1024 * 1024, 1.0, 1.0};
+        break;
+    }
+    return p;
+}
+
+} // namespace rbv::wl

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The paper's two calibration microbenchmarks (Sec. 3.1, Table 1).
+ *
+ * Mbench-Spin spins the CPU with almost no data access (minimum cache
+ * state pollution); Mbench-Data repeatedly streams over 16 MB of
+ * memory, replacing the entire L2 state. They bound the range of the
+ * counter-sampling observer effect.
+ */
+
+#ifndef RBV_WL_MBENCH_HH
+#define RBV_WL_MBENCH_HH
+
+#include "os/thread.hh"
+
+namespace rbv::wl {
+
+/** Which microbenchmark to run. */
+enum class Mbench
+{
+    Spin,
+    Data,
+};
+
+/** Hardware behavior of a microbenchmark. */
+sim::WorkParams mbenchParams(Mbench which);
+
+/**
+ * Thread logic that runs a microbenchmark forever in fixed-size
+ * execution chunks.
+ */
+class MbenchLogic : public os::ThreadLogic
+{
+  public:
+    explicit MbenchLogic(Mbench which, double chunk_ins = 1.0e6)
+        : params(mbenchParams(which)), chunkIns(chunk_ins)
+    {
+    }
+
+    os::Action
+    next() override
+    {
+        return os::ActExec{params, chunkIns};
+    }
+
+  private:
+    sim::WorkParams params;
+    double chunkIns;
+};
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_MBENCH_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * RUBiS workload implementation.
+ */
+
+#include "wl/rubis.hh"
+
+#include "wl/builder.hh"
+
+namespace rbv::wl {
+
+namespace {
+
+constexpr int WebTier = 0;
+constexpr int EjbTier = 1;
+constexpr int DbTier = 2;
+
+/** RUBiS interaction classes with a browsing-heavy mix. */
+struct RubisClass
+{
+    const char *name;
+    double weight;
+    double ejbScale; ///< Business-logic work multiplier.
+    double dbScale;  ///< Database work multiplier.
+    int dbTrips;     ///< EJB <-> DB round trips.
+    double cpiScale; ///< Class-level CPI intensity multiplier.
+};
+
+const RubisClass Classes[] = {
+    {"BrowseCategories", 0.12, 0.6, 0.5, 1, 0.80},
+    {"BrowseRegions", 0.06, 0.6, 0.5, 1, 0.82},
+    {"SearchItemsByCategory", 0.22, 1.2, 1.6, 2, 1.15},
+    {"SearchItemsByRegion", 0.08, 1.2, 1.7, 2, 1.18},
+    {"ViewItem", 0.18, 0.9, 0.9, 1, 0.95},
+    {"ViewUserInfo", 0.06, 0.8, 0.8, 1, 0.90},
+    {"ViewBidHistory", 0.06, 1.0, 1.3, 2, 1.05},
+    {"PutBid", 0.08, 1.1, 1.0, 2, 1.10},
+    {"StoreBid", 0.07, 1.3, 1.4, 3, 1.25},
+    {"AboutMe", 0.07, 1.5, 1.8, 3, 1.35},
+};
+
+constexpr int NumClasses =
+    static_cast<int>(sizeof(Classes) / sizeof(Classes[0]));
+
+/** Java/EJB business logic: object churn, elevated CPI. */
+void
+addEjbWork(std::vector<SegmentSpec> &segs, stats::Rng &rng,
+           double scale, double cpi_scale)
+{
+    // The componentized EJB architecture issues very fine-grained
+    // invocations: short bursts separated by futex/timing syscalls,
+    // which is what puts RUBiS in Fig. 4's frequent-syscall club.
+    const int pieces = 14 + static_cast<int>(rng.uniformInt(13));
+    for (int i = 0; i < pieces; ++i) {
+        segs.push_back(withSys(
+            seg(9000 * scale * rng.logNormal(0.0, 0.15),
+                1.45 * cpi_scale, 0.020 * cpi_scale, 1.8 * MiB, 0.05,
+                0.9),
+            i % 2 == 0 ? os::Sys::futex : os::Sys::gettimeofday, 900,
+            1.5));
+        segs.push_back(seg(3000 * scale * rng.logNormal(0.0, 0.10),
+                           1.20, 0.012, 512 * KiB, 0.04));
+    }
+}
+
+/** MySQL query execution for one round trip. */
+void
+addDbWork(std::vector<SegmentSpec> &segs, stats::Rng &rng,
+          double scale, double cpi_scale)
+{
+    segs.push_back(withSys(seg(18000 * scale, 1.25, 0.010, 256 * KiB,
+                               0.05),
+                           os::Sys::read, 1800, 1.7));
+    const int lookups = 3 + static_cast<int>(rng.uniformInt(4));
+    for (int i = 0; i < lookups; ++i) {
+        // Buffer-pool page reads interleave with the lookups.
+        segs.push_back(withSys(
+            seg(11000 * scale * rng.logNormal(0.0, 0.10),
+                0.95 * cpi_scale, 0.024 * cpi_scale, 1.4 * MiB, 0.06,
+                0.8),
+            os::Sys::read, 1200, 1.6));
+        segs.push_back(seg(11000 * scale * rng.logNormal(0.0, 0.10),
+                           0.95 * cpi_scale, 0.024 * cpi_scale,
+                           1.4 * MiB, 0.06, 0.8));
+    }
+    segs.push_back(withSys(seg(10000 * scale, 1.05, 0.012, 512 * KiB,
+                               0.05),
+                           os::Sys::write, 1500, 1.6));
+}
+
+} // namespace
+
+std::unique_ptr<RequestSpec>
+RubisGen::generate(stats::Rng &rng)
+{
+    std::vector<double> weights;
+    weights.reserve(NumClasses);
+    for (const auto &c : Classes)
+        weights.push_back(c.weight);
+    const int cls = static_cast<int>(rng.discrete(weights));
+    const RubisClass &rc = Classes[cls];
+
+    auto req = std::make_unique<RequestSpec>();
+    req->classId = cls;
+    req->className = std::string("rubis.") + rc.name;
+
+    // Front-end: parse HTTP, route to the servlet container.
+    {
+        StageSpec st;
+        st.tier = WebTier;
+        st.segments.push_back(withSys(
+            seg(15000 * rng.logNormal(0.0, 0.08), 1.60, 0.012,
+                64 * KiB, 0.06),
+            os::Sys::read, 1500, 1.6));
+        st.segments.push_back(seg(12000 * rng.logNormal(0.0, 0.08),
+                                  1.10, 0.008, 64 * KiB, 0.05));
+        req->stages.push_back(std::move(st));
+    }
+
+    // EJB <-> DB round trips.
+    for (int trip = 0; trip < rc.dbTrips; ++trip) {
+        StageSpec ejb;
+        ejb.tier = EjbTier;
+        addEjbWork(ejb.segments, rng, rc.ejbScale, rc.cpiScale);
+        req->stages.push_back(std::move(ejb));
+
+        StageSpec db;
+        db.tier = DbTier;
+        addDbWork(db.segments, rng, rc.dbScale, rc.cpiScale);
+        req->stages.push_back(std::move(db));
+    }
+
+    // EJB result assembly, then web-tier page render.
+    {
+        StageSpec ejb;
+        ejb.tier = EjbTier;
+        addEjbWork(ejb.segments, rng, rc.ejbScale * 0.7, rc.cpiScale);
+        req->stages.push_back(std::move(ejb));
+
+        StageSpec web;
+        web.tier = WebTier;
+        web.segments.push_back(seg(
+            60000 * rng.logNormal(0.0, 0.10), 1.20, 0.014, 256 * KiB,
+            0.06));
+        web.segments.push_back(withSys(
+            seg(8000, 2.60, 0.018, 32 * KiB, 0.15), os::Sys::writev,
+            1800, 1.8));
+        web.segments.push_back(withSys(
+            seg(4000, 1.10, 0.008, 32 * KiB, 0.05), os::Sys::close,
+            900, 1.5));
+        req->stages.push_back(std::move(web));
+    }
+
+    return req;
+}
+
+} // namespace rbv::wl

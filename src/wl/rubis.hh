@@ -1,0 +1,41 @@
+/**
+ * @file
+ * RUBiS workload model (J2EE three-tier online auction).
+ *
+ * Requests traverse a front-end web server, a JBoss/EJB business
+ * logic tier, and a MySQL back end, hopping over sockets (which is
+ * how the kernel's request-context propagation gets exercised).
+ * The componentized architecture yields many fine-grained segments
+ * and a high system call density (Fig. 4: 72% within 16 us).
+ */
+
+#ifndef RBV_WL_RUBIS_HH
+#define RBV_WL_RUBIS_HH
+
+#include "wl/generator.hh"
+
+namespace rbv::wl {
+
+/** RUBiS online auction (web + EJB + DB tiers). */
+class RubisGen : public Generator
+{
+  public:
+    std::string appName() const override { return "rubis"; }
+
+    std::vector<TierSpec>
+    tiers() const override
+    {
+        return {TierSpec{"apache", 10}, TierSpec{"jboss", 14},
+                TierSpec{"mysqld", 10}};
+    }
+
+    std::unique_ptr<RequestSpec> generate(stats::Rng &rng) override;
+
+    double defaultSamplingPeriodUs() const override { return 100.0; }
+    int defaultConcurrency() const override { return 14; }
+    double thinkTimeUs() const override { return 8000.0; }
+};
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_RUBIS_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Server application builder and load driver implementation.
+ */
+
+#include "wl/server.hh"
+
+#include "wl/worker.hh"
+
+namespace rbv::wl {
+
+ServerApp::ServerApp(os::Kernel &kernel,
+                     const std::vector<TierSpec> &tiers)
+{
+    chans.reserve(tiers.size());
+    for (std::size_t t = 0; t < tiers.size(); ++t)
+        chans.push_back(kernel.createChannel());
+    reply = kernel.createChannel();
+
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+        const os::ProcessId proc = kernel.createProcess(tiers[t].name);
+        for (int w = 0; w < tiers[t].workers; ++w) {
+            kernel.createThread(
+                proc, std::make_unique<WorkerLogic>(chans[t], chans,
+                                                    reply));
+        }
+    }
+}
+
+LoadDriver::LoadDriver(os::Kernel &kernel, ServerApp &app,
+                       Generator &gen, stats::Rng rng, Config cfg)
+    : kernel(kernel), app(app), gen(gen), rng(rng), cfg(cfg)
+{
+    kernel.setChannelSink(app.replyChannel(),
+                          [this](const os::Message &msg) {
+                              onReply(msg);
+                          });
+}
+
+void
+LoadDriver::start()
+{
+    const int population =
+        static_cast<int>(std::min<std::size_t>(
+            cfg.concurrency, cfg.targetRequests));
+    for (int u = 0; u < population; ++u) {
+        // Stagger the initial arrivals over roughly one think time.
+        const auto delay = static_cast<sim::Tick>(
+            sim::usToCycles(rng.exponential(cfg.thinkTimeUs)));
+        kernel.eventQueue().scheduleIn(delay + 1, [this] { inject(); });
+    }
+}
+
+void
+LoadDriver::inject()
+{
+    if (numInjected >= cfg.targetRequests)
+        return;
+    ++numInjected;
+
+    auto spec = gen.generate(rng);
+    const RequestSpec *raw = spec.get();
+    specs.push_back(std::move(spec));
+
+    const os::RequestId id =
+        kernel.registerRequest(raw->className, raw);
+    ids.push_back(id);
+    if (specByRequest.size() <= static_cast<std::size_t>(id))
+        specByRequest.resize(static_cast<std::size_t>(id) + 1, nullptr);
+    specByRequest[static_cast<std::size_t>(id)] = raw;
+
+    os::Message msg;
+    msg.request = id;
+    msg.tag = 0;
+    msg.payload = raw;
+    kernel.post(app.tierChannel(raw->stages.front().tier), msg);
+}
+
+void
+LoadDriver::onReply(const os::Message &msg)
+{
+    kernel.completeRequest(msg.request);
+    ++numCompleted;
+
+    if (numCompleted >= cfg.targetRequests) {
+        kernel.eventQueue().requestStop();
+        return;
+    }
+    if (numInjected < cfg.targetRequests) {
+        const auto delay = static_cast<sim::Tick>(
+            sim::usToCycles(rng.exponential(cfg.thinkTimeUs)));
+        kernel.eventQueue().scheduleIn(delay + 1, [this] { inject(); });
+    }
+}
+
+const RequestSpec *
+LoadDriver::specOf(os::RequestId id) const
+{
+    const auto idx = static_cast<std::size_t>(id);
+    return idx < specByRequest.size() ? specByRequest[idx] : nullptr;
+}
+
+} // namespace rbv::wl

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Server application builder and closed-loop load driver.
+ */
+
+#ifndef RBV_WL_SERVER_HH
+#define RBV_WL_SERVER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "stats/rng.hh"
+#include "wl/generator.hh"
+#include "wl/spec.hh"
+
+namespace rbv::wl {
+
+/**
+ * Instantiates a multi-tier server application on a kernel: one
+ * process per tier, a channel per tier, a worker pool per tier, and
+ * a reply channel whose sink the load driver owns.
+ */
+class ServerApp
+{
+  public:
+    ServerApp(os::Kernel &kernel, const std::vector<TierSpec> &tiers);
+
+    os::ChannelId tierChannel(int tier) const { return chans[tier]; }
+    const std::vector<os::ChannelId> &tierChannels() const
+    {
+        return chans;
+    }
+    os::ChannelId replyChannel() const { return reply; }
+    int numTiers() const { return static_cast<int>(chans.size()); }
+
+  private:
+    std::vector<os::ChannelId> chans;
+    os::ChannelId reply = os::InvalidChannelId;
+};
+
+/**
+ * Closed-loop load driver: a fixed population of virtual users, each
+ * injecting its next request an exponentially distributed think time
+ * after its previous reply. Injection stops after a target number of
+ * requests; the event loop is stopped when the last reply arrives.
+ */
+class LoadDriver
+{
+  public:
+    struct Config
+    {
+        int concurrency = 8;
+        std::size_t targetRequests = 1000;
+        double thinkTimeUs = 1000.0;
+    };
+
+    LoadDriver(os::Kernel &kernel, ServerApp &app, Generator &gen,
+               stats::Rng rng, Config cfg);
+
+    /** Inject the initial user population (call after Kernel::start). */
+    void start();
+
+    std::size_t completed() const { return numCompleted; }
+    std::size_t injected() const { return numInjected; }
+
+    /** Request spec by request id (nullptr if unknown). */
+    const RequestSpec *specOf(os::RequestId id) const;
+
+    /** All request ids this driver injected, in injection order. */
+    const std::vector<os::RequestId> &requestIds() const { return ids; }
+
+  private:
+    void inject();
+    void onReply(const os::Message &msg);
+
+    os::Kernel &kernel;
+    ServerApp &app;
+    Generator &gen;
+    stats::Rng rng;
+    Config cfg;
+
+    std::vector<std::unique_ptr<RequestSpec>> specs;
+    std::vector<os::RequestId> ids;
+    std::vector<const RequestSpec *> specByRequest;
+    std::size_t numInjected = 0;
+    std::size_t numCompleted = 0;
+};
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_SERVER_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * TPC-C workload implementation.
+ */
+
+#include "wl/tpcc.hh"
+
+#include "wl/builder.hh"
+
+namespace rbv::wl {
+
+namespace {
+
+/** Paper's transaction mix: 45/43/4/4/4 %. */
+const std::vector<double> TxnMix = {0.45, 0.43, 0.04, 0.04, 0.04};
+
+const char *const TxnName[5] = {"new_order", "payment", "order_status",
+                                "delivery", "stock_level"};
+
+/** B-tree index traversal (pointer chasing over the buffer pool). */
+SegmentSpec
+btreeLookup(stats::Rng &rng, double scale)
+{
+    return seg(36000 * scale * rng.logNormal(0.0, 0.10), 1.05, 0.026,
+               3.0 * MiB, 0.035, 1.1);
+}
+
+/** Row read/update in the buffer pool. */
+SegmentSpec
+rowUpdate(stats::Rng &rng, double scale)
+{
+    return seg(20000 * scale * rng.logNormal(0.0, 0.10), 0.60, 0.010,
+               2.0 * MiB, 0.022, 1.0);
+}
+
+/** Aggregation / join scan phase (delivery, stock level). */
+SegmentSpec
+aggScan(stats::Rng &rng, double ins)
+{
+    return seg(ins * rng.logNormal(0.0, 0.12), 0.90, 0.030, 3.5 * MiB,
+               0.05, 1.2);
+}
+
+} // namespace
+
+std::unique_ptr<RequestSpec>
+TpccGen::generate(stats::Rng &rng)
+{
+    auto req = std::make_unique<RequestSpec>();
+    const int type = static_cast<int>(rng.discrete(TxnMix));
+    req->classId = type;
+    req->className = std::string("tpcc.") + TxnName[type];
+
+    StageSpec stage;
+    stage.tier = 0;
+    auto &segs = stage.segments;
+
+    // SQL parse / plan.
+    segs.push_back(withSys(seg(50000 * rng.logNormal(0.0, 0.08), 1.30,
+                               0.010, 256 * KiB, 0.05),
+                           os::Sys::read, 2000, 1.8));
+
+    // Occasional row-lock contention: a futex wait.
+    auto maybe_lock_wait = [&](double prob) {
+        if (rng.uniform() < prob) {
+            segs.push_back(withBlockingSys(
+                seg(2000, 1.40, 0.010, 128 * KiB, 0.05), os::Sys::futex,
+                rng.uniform(50.0, 500.0)));
+        }
+    };
+
+    // Buffered redo-log append: one write() per small item group.
+    auto log_append = [&] {
+        segs.push_back(withSys(seg(9000, 1.30, 0.012, 256 * KiB, 0.05),
+                               os::Sys::write, 1800, 1.7));
+    };
+
+    switch (static_cast<Type>(type)) {
+      case NewOrder: {
+        // 5..15 order lines; each line: item lookup, stock lookup,
+        // stock update, order-line insert.
+        const int lines = 5 + static_cast<int>(rng.uniformInt(11));
+        maybe_lock_wait(0.04);
+        // InnoDB processes the order in passes, which gives the
+        // request its macro-phase CPI profile (Fig. 2): an
+        // index-lookup phase (pointer chasing, high CPI), an update
+        // phase (row writes, low CPI), then inserts and log flushes.
+        for (int i = 0; i < lines; ++i) {
+            segs.push_back(btreeLookup(rng, 1.3));
+            segs.push_back(btreeLookup(rng, 1.0));
+        }
+        for (int i = 0; i < lines; ++i) {
+            segs.push_back(rowUpdate(rng, 1.2));
+            segs.push_back(rowUpdate(rng, 1.4));
+            if (i % 4 == 3)
+                log_append();
+        }
+        for (int i = 0; i < lines; ++i)
+            segs.push_back(rowUpdate(rng, 0.8));
+        log_append();
+        break;
+      }
+      case Payment: {
+        maybe_lock_wait(0.06);
+        // Warehouse, district, customer updates.
+        for (int i = 0; i < 3; ++i) {
+            segs.push_back(btreeLookup(rng, 1.0));
+            segs.push_back(rowUpdate(rng, 2.0));
+        }
+        // History insert.
+        segs.push_back(rowUpdate(rng, 1.5));
+        log_append();
+        break;
+      }
+      case OrderStatus: {
+        // Read-only: customer lookup plus order-line scan.
+        segs.push_back(btreeLookup(rng, 1.5));
+        for (int i = 0; i < 12; ++i)
+            segs.push_back(btreeLookup(rng, 1.1));
+        break;
+      }
+      case Delivery: {
+        // Ten districts, each with lookups, updates, and a batch
+        // aggregation pass; long syscall-free stretches.
+        for (int d = 0; d < 10; ++d) {
+            segs.push_back(btreeLookup(rng, 1.2));
+            segs.push_back(rowUpdate(rng, 1.5));
+            segs.push_back(aggScan(rng, 120000));
+            if (d % 3 == 2)
+                log_append();
+        }
+        maybe_lock_wait(0.10);
+        log_append();
+        break;
+      }
+      case StockLevel: {
+        // Read-only join over recent order lines and stock.
+        segs.push_back(btreeLookup(rng, 1.5));
+        for (int i = 0; i < 4; ++i)
+            segs.push_back(aggScan(rng, 450000));
+        break;
+      }
+    }
+
+    // Commit: group-commit log flush; a fraction waits on fsync.
+    if (type != OrderStatus && type != StockLevel) {
+        if (rng.uniform() < 0.25) {
+            segs.push_back(withBlockingSys(
+                seg(5000, 1.20, 0.010, 256 * KiB, 0.05), os::Sys::fsync,
+                rng.uniform(100.0, 400.0)));
+        } else {
+            log_append();
+        }
+    }
+
+    // Result marshaling back to the client connection.
+    segs.push_back(withSys(seg(20000 * rng.logNormal(0.0, 0.08), 1.10,
+                               0.010, 256 * KiB, 0.05),
+                           os::Sys::write, 1600, 1.7));
+
+    req->stages.push_back(std::move(stage));
+    return req;
+}
+
+} // namespace rbv::wl

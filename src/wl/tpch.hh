@@ -1,0 +1,48 @@
+/**
+ * @file
+ * TPC-H workload model (MySQL decision-support queries).
+ *
+ * The paper's 17-query subset (Q2..Q22), equal request proportions.
+ * Each query is dominated by one homogeneous scan behavior — which is
+ * why TPCH's intra-request variation barely exceeds its inter-request
+ * variation (Fig. 3) — with large working sets that make it the
+ * application most obfuscated by multicore L2 sharing (Fig. 1: the
+ * 90-percentile request CPI roughly doubles on 4 cores).
+ */
+
+#ifndef RBV_WL_TPCH_HH
+#define RBV_WL_TPCH_HH
+
+#include "wl/generator.hh"
+
+namespace rbv::wl {
+
+/** TPC-H on MySQL. */
+class TpchGen : public Generator
+{
+  public:
+    /** The paper's 17-query subset. */
+    static const std::vector<int> &querySet();
+
+    std::string appName() const override { return "tpch"; }
+
+    std::vector<TierSpec>
+    tiers() const override
+    {
+        return {TierSpec{"mysqld", 8}};
+    }
+
+    std::unique_ptr<RequestSpec> generate(stats::Rng &rng) override;
+
+    /** Generate a request of one specific query (for Figs. 8, 10). */
+    std::unique_ptr<RequestSpec> generateQuery(int query,
+                                               stats::Rng &rng);
+
+    double defaultSamplingPeriodUs() const override { return 1000.0; }
+    int defaultConcurrency() const override { return 8; }
+    double thinkTimeUs() const override { return 5000.0; }
+};
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_TPCH_HH

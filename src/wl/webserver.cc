@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Apache / SPECweb99 static workload implementation.
+ */
+
+#include "wl/webserver.hh"
+
+#include <cmath>
+
+#include "wl/builder.hh"
+
+namespace rbv::wl {
+
+namespace {
+
+/** SPECweb99 file class access mix (classes 0..3). */
+const std::vector<double> ClassMix = {0.35, 0.50, 0.14, 0.01};
+
+/** File size scale of each class (bytes); files are 1x..9x of it. */
+constexpr double ClassScale[4] = {100.0, 1000.0, 10000.0, 100000.0};
+
+/** Body is streamed in chunks of this size. */
+constexpr double ChunkBytes = 16.0 * KiB;
+
+/** Fraction of requests whose file misses the FS cache (disk I/O). */
+constexpr double DiskMissProb = 0.08;
+
+/** Per-request multiplicative jitter on segment lengths. */
+double
+jitter(stats::Rng &rng, double sigma = 0.08)
+{
+    return rng.logNormal(0.0, sigma);
+}
+
+} // namespace
+
+std::unique_ptr<RequestSpec>
+WebServerGen::generate(stats::Rng &rng)
+{
+    auto req = std::make_unique<RequestSpec>();
+    const int cls = static_cast<int>(rng.discrete(ClassMix));
+    req->classId = cls;
+    req->className = "web.class" + std::to_string(cls);
+
+    // File size: 1x..9x of the class scale (SPECweb99's nine files).
+    const double file_bytes =
+        ClassScale[cls] * static_cast<double>(1 + rng.uniformInt(9));
+    const double copy_ws = std::min(file_bytes, 512.0 * KiB);
+
+    StageSpec stage;
+    stage.tier = 0;
+    auto &segs = stage.segments;
+
+    const double j = jitter(rng, 0.12);
+    // Connection/session state (keepalive history, TCP window, log
+    // buffer fill) perturbs the control-path CPI per request.
+    const double conn = rng.uniform(0.85, 1.45);
+
+    // Request read + HTTP parse: branchy, moderate CPI (~2.0).
+    segs.push_back(withSys(
+        seg(12000 * j, 1.70 * conn, 0.012, 32 * KiB, 0.08),
+        os::Sys::read, 1500, 1.6));
+
+    // stat: efficient dentry-cache lookup follows (CPI drops).
+    segs.push_back(withSys(seg(3000 * j, 0.65, 0.004, 16 * KiB, 0.05),
+                           os::Sys::stat, 1000, 1.5));
+
+    // open: file-descriptor setup, near-neutral CPI change. A small
+    // fraction of opens miss the FS cache and block on disk.
+    {
+        SegmentSpec open_seg = seg(4000 * j, 0.85, 0.004, 16 * KiB,
+                                   0.05);
+        if (rng.uniform() < DiskMissProb) {
+            segs.push_back(withBlockingSys(open_seg, os::Sys::open,
+                                           rng.uniform(150.0, 1500.0)));
+        } else {
+            segs.push_back(withSys(open_seg, os::Sys::open, 1400, 1.6));
+        }
+    }
+
+    // Header construction in user space.
+    segs.push_back(seg(5000 * j, 1.00, 0.006, 24 * KiB, 0.06));
+
+    // writev: writing HTTP headers exhibits high CPI (fragmented
+    // piecemeal accesses to memory) -- the paper's strongest
+    // behavior-transition signal (+3.66 CPI, Table 2).
+    segs.push_back(withSys(seg(6000 * j, 3.20, 0.020, 16 * KiB, 0.20),
+                           os::Sys::writev, 1800, 1.8));
+
+    // lseek back to the body start: the efficient copy loop follows
+    // (CPI drops, Table 2: -1.99).
+    segs.push_back(withSys(seg(2000 * j, 0.80, 0.005, 16 * KiB, 0.05),
+                           os::Sys::lseek, 800, 1.4));
+
+    // Body streaming loop: read a chunk into the kernel copy buffer
+    // (CPI rises slightly after read), then process/send it (CPI
+    // drops slightly after write).
+    const int chunks = std::max(
+        1, static_cast<int>(std::ceil(file_bytes / ChunkBytes)));
+    for (int c = 0; c < chunks; ++c) {
+        const double bytes =
+            std::min(ChunkBytes, file_bytes - c * ChunkBytes);
+        const double copy_ins = std::max(800.0, bytes * 0.35) * j;
+        const double proc_ins = std::max(1000.0, bytes * 0.50) * j;
+        segs.push_back(withSys(
+            seg(copy_ins, 0.90, 0.022, copy_ws, 0.12), os::Sys::read,
+            1300, 1.6));
+        segs.push_back(withSys(
+            seg(proc_ins, 0.75, 0.012, copy_ws, 0.10), os::Sys::write,
+            1300, 1.6));
+    }
+
+    // shutdown: connection teardown runs at elevated CPI (+0.82).
+    segs.push_back(withSys(seg(3000 * j, 1.90 * conn, 0.008, 24 * KiB, 0.06),
+                           os::Sys::shutdown, 1200, 1.7));
+
+    // poll: the keepalive/event-loop check follows (+1.22).
+    segs.push_back(withSys(seg(2000 * j, 2.20 * conn, 0.010, 24 * KiB, 0.08),
+                           os::Sys::poll, 1000, 1.7));
+
+    // Access-log append and close.
+    segs.push_back(withSys(seg(3000 * j, 1.05, 0.008, 24 * KiB, 0.05),
+                           os::Sys::write, 1100, 1.6));
+    segs.push_back(withSys(seg(800 * j, 1.00, 0.004, 8 * KiB, 0.05),
+                           os::Sys::close, 900, 1.5));
+
+    req->stages.push_back(std::move(stage));
+    return req;
+}
+
+} // namespace rbv::wl

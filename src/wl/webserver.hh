@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Apache web server workload model (SPECweb99 static content).
+ *
+ * Requests retrieve files from the four SPECweb99 size classes
+ * (100 B – 900 KB, 35/50/14/1 % mix). The segment program models the
+ * Apache request path the paper's Table 2 exposes through system call
+ * behavior-transition signals: request parse, stat/open, header
+ * construction, a high-CPI writev header write (fragmented piecemeal
+ * memory accesses), a per-chunk copy loop, and connection teardown.
+ * System calls are extremely frequent (Fig. 4: 97% of execution
+ * instants see the next syscall within 16 us).
+ */
+
+#ifndef RBV_WL_WEBSERVER_HH
+#define RBV_WL_WEBSERVER_HH
+
+#include "wl/generator.hh"
+
+namespace rbv::wl {
+
+/** SPECweb99-style static web server workload. */
+class WebServerGen : public Generator
+{
+  public:
+    std::string appName() const override { return "webserver"; }
+
+    std::vector<TierSpec>
+    tiers() const override
+    {
+        return {TierSpec{"apache", 16}};
+    }
+
+    std::unique_ptr<RequestSpec> generate(stats::Rng &rng) override;
+
+    double defaultSamplingPeriodUs() const override { return 10.0; }
+    int defaultConcurrency() const override { return 48; }
+    double thinkTimeUs() const override { return 1000.0; }
+};
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_WEBSERVER_HH

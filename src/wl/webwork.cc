@@ -1,0 +1,158 @@
+/**
+ * @file
+ * WeBWorK workload implementation.
+ */
+
+#include "wl/webwork.hh"
+
+#include <cmath>
+
+#include "wl/builder.hh"
+
+namespace rbv::wl {
+
+namespace {
+
+/** Mean instruction count of one fine-grained Perl segment. */
+constexpr double ChunkIns = 1.0e6;
+
+/** Identical module-load / session prologue of every request. */
+void
+addPrologue(std::vector<SegmentSpec> &segs)
+{
+    // Fixed, deterministic: byte-for-byte the same in every request.
+    segs.push_back(withSys(seg(800000, 1.30, 0.008, 192 * KiB, 0.04),
+                           os::Sys::read, 2000, 1.8));
+    segs.push_back(withSys(seg(2500000, 1.45, 0.009, 256 * KiB, 0.04),
+                           os::Sys::open, 1400, 1.6));
+    segs.push_back(seg(3000000, 1.25, 0.007, 192 * KiB, 0.04));
+    segs.push_back(withSys(seg(2200000, 1.50, 0.010, 256 * KiB, 0.05),
+                           os::Sys::stat, 1000, 1.5));
+    segs.push_back(seg(2800000, 1.35, 0.008, 224 * KiB, 0.04));
+    segs.push_back(withSys(seg(700000, 1.20, 0.006, 128 * KiB, 0.04),
+                           os::Sys::brk, 800, 1.4));
+}
+
+/** Closing render / serialization epilogue. */
+void
+addEpilogue(std::vector<SegmentSpec> &segs, stats::Rng &rng)
+{
+    segs.push_back(withSys(
+        seg(2500000 * rng.logNormal(0.0, 0.05), 1.15, 0.010,
+            256 * KiB, 0.05),
+        os::Sys::write, 1800, 1.7));
+    segs.push_back(withSys(
+        seg(1500000 * rng.logNormal(0.0, 0.05), 1.05, 0.008,
+            192 * KiB, 0.04),
+        os::Sys::writev, 1800, 1.8));
+}
+
+} // namespace
+
+std::unique_ptr<RequestSpec>
+WebWorkGen::generate(stats::Rng &rng)
+{
+    // Problem popularity follows a Zipf over the ~3,000 problem sets.
+    static const stats::ZipfSampler zipf(NumProblems, 0.8);
+    const int pid = static_cast<int>(zipf.sample(rng));
+    return generateProblem(pid, rng);
+}
+
+std::unique_ptr<RequestSpec>
+WebWorkGen::generateProblem(int pid, stats::Rng &rng)
+{
+    auto req = std::make_unique<RequestSpec>();
+    req->classId = pid;
+    req->className = "webwork.p" + std::to_string(pid);
+
+    StageSpec stage;
+    stage.tier = 0;
+    auto &segs = stage.segments;
+
+    addPrologue(segs);
+
+    // Problem-specific body: deterministic per problem id, so two
+    // requests for the same problem share the same inherent pattern
+    // (modulo small per-request jitter).
+    stats::Rng prng(0x77ebULL * 1000003ULL + pid);
+
+    // Problem-level behavior location: different problems stress the
+    // interpreter differently, which is what spreads the per-request
+    // CPI distribution of Fig. 1 (chunk-level noise alone would
+    // average out over the hundreds of chunks of a request).
+    const double pid_cpi_bias = 0.90 + 0.75 * prng.uniform();
+    const double pid_refs_bias = 0.004 + 0.008 * prng.uniform();
+
+    // A minority of problems render large plots or churn big interim
+    // structures: stable memory hogs at the request level, which is
+    // what the contention-easing scheduler of Sec. 5.2 can separate.
+    const bool pid_hog = prng.uniform() < 0.18;
+    const double pid_miss_mult = pid_hog ? 4.0 : 1.0;
+    const double pid_ws_mult = pid_hog ? 2.0 : 1.0;
+
+    // Body length: log-normal, ~60M to ~600M instructions.
+    const double body_ins =
+        std::clamp(1.5e8 * prng.logNormal(0.0, 0.55), 4.0e7, 6.0e8);
+    double emitted = 0.0;
+    // Slow phases (roughly 8-16 ms) of heavier interim-structure
+    // churn alternate with lighter interpretation; most pronounced
+    // for the memory-hog problems. This phase structure is what the
+    // contention-easing scheduler can exploit.
+    double slow_mult = 1.0;
+    double slow_left_ins = 0.0;
+    while (emitted < body_ins) {
+        if (slow_left_ins <= 0.0) {
+            slow_left_ins = 8.0e6 + 12.0e6 * prng.uniform();
+            slow_mult = slow_mult > 1.0 ? 0.45 : 1.80;
+        }
+        // A run of Perl-module segments between two syscalls. Most
+        // runs are short (one chunk, ~0.6 ms); some are long
+        // CPU-only stretches (math computation, graphics rendering).
+        const bool long_run = prng.uniform() < 0.12;
+        const int chunks =
+            long_run ? 3 + static_cast<int>(prng.uniformInt(4)) : 1;
+        for (int c = 0; c < chunks && emitted < body_ins; ++c) {
+            // The chunk plan (and thus the segment structure) is
+            // purely problem-determined; the per-request jitter only
+            // perturbs segment lengths, never the structure.
+            const double planned =
+                ChunkIns * prng.logNormal(0.0, 0.35);
+            const double ins = planned * rng.logNormal(0.0, 0.04);
+            const bool render = prng.uniform() < 0.12;
+            SegmentSpec s =
+                render
+                    ? seg(ins, 0.85 + 0.2 * prng.uniform(), 0.005,
+                          96 * KiB, 0.03)
+                    : seg(ins,
+                          pid_cpi_bias *
+                              (0.65 + 0.75 * prng.uniform()),
+                          pid_refs_bias *
+                              (0.6 + 0.8 * prng.uniform()),
+                          (64.0 + 320.0 * prng.uniform()) * KiB *
+                              pid_ws_mult,
+                          std::min(0.5, (0.02 +
+                                         0.035 * prng.uniform()) *
+                                            pid_miss_mult *
+                                            slow_mult),
+                          0.8);
+            emitted += planned;
+            slow_left_ins -= planned;
+            segs.push_back(s);
+        }
+        // The run-terminating syscall.
+        const double r = prng.uniform();
+        const os::Sys sys = r < 0.4   ? os::Sys::brk
+                            : r < 0.7 ? os::Sys::stat
+                            : r < 0.9 ? os::Sys::read
+                                      : os::Sys::gettimeofday;
+        segs.push_back(withSys(seg(60000, 1.20, 0.006, 96 * KiB, 0.04),
+                               sys, 1100, 1.5));
+    }
+
+    addEpilogue(segs, rng);
+
+    req->stages.push_back(std::move(stage));
+    return req;
+}
+
+} // namespace rbv::wl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * WeBWorK workload model (Apache + mod_perl online homework).
+ *
+ * Requests interpret teacher-supplied problem scripts (~3,000 problem
+ * sets). Every request starts with an identical module-loading /
+ * session prologue — the reason early online signature identification
+ * fails for WeBWorK (Fig. 10) — followed by a long, problem-specific
+ * body of many fine-grained Perl segments whose behavior fluctuates
+ * without forming stable phases (Fig. 2). Working sets are small, so
+ * WeBWorK sees no significant multicore obfuscation (Fig. 1), and
+ * system calls are sparse (Fig. 4: 81% within 1 ms).
+ */
+
+#ifndef RBV_WL_WEBWORK_HH
+#define RBV_WL_WEBWORK_HH
+
+#include "wl/generator.hh"
+
+namespace rbv::wl {
+
+/** WeBWorK collaborative web application. */
+class WebWorkGen : public Generator
+{
+  public:
+    /** Number of distinct teacher-created problem sets. */
+    static constexpr int NumProblems = 3000;
+
+    std::string appName() const override { return "webwork"; }
+
+    std::vector<TierSpec>
+    tiers() const override
+    {
+        return {TierSpec{"apache_perl", 16}};
+    }
+
+    std::unique_ptr<RequestSpec> generate(stats::Rng &rng) override;
+
+    /** Generate a request for a specific problem id (Figs. 9, 10). */
+    std::unique_ptr<RequestSpec> generateProblem(int pid,
+                                                 stats::Rng &rng);
+
+    double defaultSamplingPeriodUs() const override { return 1000.0; }
+    int defaultConcurrency() const override { return 8; }
+    double thinkTimeUs() const override { return 10000.0; }
+};
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_WEBWORK_HH

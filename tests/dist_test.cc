@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for distributed cross-machine request tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "dist/cluster.hh"
+
+using namespace rbv;
+using namespace rbv::dist;
+using namespace rbv::os;
+
+namespace {
+
+/** Scripted worker: recv, execute, forward to a fixed channel. */
+struct HopLogic : ThreadLogic
+{
+    ChannelId in;
+    ChannelId out;
+    double ins;
+    double cpi;
+
+    HopLogic(ChannelId in, ChannelId out, double ins, double cpi = 1.0)
+        : in(in), out(out), ins(ins), cpi(cpi)
+    {
+    }
+
+    bool have_msg = false;
+
+    Action
+    next() override
+    {
+        if (!have_msg) {
+            ActSyscall a;
+            a.id = Sys::recv;
+            a.args.behavior = SysBehavior::ChannelRecv;
+            a.args.channel = in;
+            return a;
+        }
+        if (!executed) {
+            executed = true;
+            sim::WorkParams p;
+            p.baseCpi = cpi;
+            return ActExec{p, ins};
+        }
+        have_msg = false;
+        executed = false;
+        ActSyscall a;
+        a.id = Sys::send;
+        a.args.behavior = SysBehavior::ChannelSend;
+        a.args.channel = out;
+        return a;
+    }
+
+    void
+    onMessage(const Message &) override
+    {
+        have_msg = true;
+    }
+
+  private:
+    bool executed = false;
+};
+
+NodeConfig
+nodeConfig(const std::string &name, int cores = 1)
+{
+    NodeConfig cfg;
+    cfg.name = name;
+    cfg.machine.numCores = cores;
+    cfg.machine.coresPerL2Domain = cores >= 2 ? 2 : 1;
+    return cfg;
+}
+
+/** A 2-node rig: front -> (link) -> back -> (link) -> reply sink. */
+struct TwoNodeRig
+{
+    sim::EventQueue eq;
+    Cluster cluster;
+    NodeId front, back;
+    ChannelId front_in, back_in, to_back, reply_on_back;
+    std::vector<GlobalRequestId> completed;
+
+    explicit TwoNodeRig(sim::Tick latency = sim::usToCycles(100.0))
+        : cluster(eq)
+    {
+        front = cluster.addNode(nodeConfig("front"));
+        back = cluster.addNode(nodeConfig("back"));
+
+        auto &fk = cluster.kernel(front);
+        auto &bk = cluster.kernel(back);
+
+        front_in = fk.createChannel();
+        back_in = bk.createChannel();
+
+        // front -> back network link.
+        to_back = cluster.connect(front, {back, back_in}, latency);
+
+        // back -> cluster reply (a sink channel on the back node that
+        // completes the global request).
+        reply_on_back = bk.createChannel();
+        bk.setChannelSink(reply_on_back, [this,
+                                          &bk](const Message &m) {
+            const GlobalRequestId gid =
+                cluster.globalIdOf(back, m.request);
+            cluster.completeRequest(gid);
+            completed.push_back(gid);
+        });
+
+        fk.createThread(fk.createProcess("front"),
+                        std::make_unique<HopLogic>(front_in, to_back,
+                                                   50000.0));
+        bk.createThread(bk.createProcess("back"),
+                        std::make_unique<HopLogic>(
+                            back_in, reply_on_back, 100000.0, 2.0));
+        cluster.start();
+    }
+
+    GlobalRequestId
+    inject()
+    {
+        const GlobalRequestId gid =
+            cluster.registerRequest("dist.req", nullptr);
+        cluster.post(front, front_in, Message{}, gid);
+        return gid;
+    }
+};
+
+} // namespace
+
+TEST(Cluster, RequestCrossesMachinesAndCompletes)
+{
+    TwoNodeRig rig;
+    const auto gid = rig.inject();
+    rig.eq.runUntil(sim::msToCycles(50.0));
+
+    ASSERT_EQ(rig.completed.size(), 1u);
+    EXPECT_EQ(rig.completed[0], gid);
+    const auto &info = rig.cluster.request(gid);
+    EXPECT_TRUE(info.done);
+    EXPECT_EQ(info.hops, 1u); // front -> back
+}
+
+TEST(Cluster, PerNodeAccountingSplitsWork)
+{
+    TwoNodeRig rig;
+    const auto gid = rig.inject();
+    rig.eq.runUntil(sim::msToCycles(50.0));
+
+    const auto &info = rig.cluster.request(gid);
+    ASSERT_EQ(info.perNode.size(), 2u);
+    // Front executed ~50K instructions, back ~100K (plus kernel).
+    EXPECT_GT(info.perNode[0].instructions, 50000.0);
+    EXPECT_LT(info.perNode[0].instructions, 90000.0);
+    EXPECT_GT(info.perNode[1].instructions, 100000.0);
+    EXPECT_LT(info.perNode[1].instructions, 150000.0);
+    // Summed totals cover both.
+    EXPECT_NEAR(info.totals().instructions,
+                info.perNode[0].instructions +
+                    info.perNode[1].instructions,
+                1e-6);
+}
+
+TEST(Cluster, NetworkLatencyDelaysCompletion)
+{
+    TwoNodeRig fast(sim::usToCycles(10.0));
+    TwoNodeRig slow(sim::usToCycles(5000.0));
+    const auto g1 = fast.inject();
+    const auto g2 = slow.inject();
+    fast.eq.runUntil(sim::msToCycles(100.0));
+    slow.eq.runUntil(sim::msToCycles(100.0));
+
+    const auto lat_fast = fast.cluster.request(g1).completed -
+                          fast.cluster.request(g1).injected;
+    const auto lat_slow = slow.cluster.request(g2).completed -
+                          slow.cluster.request(g2).injected;
+    EXPECT_GT(lat_slow, lat_fast + sim::usToCycles(4000.0));
+}
+
+TEST(Cluster, GlobalLocalIdTranslationRoundTrips)
+{
+    TwoNodeRig rig;
+    const auto gid = rig.inject();
+    rig.eq.runUntil(sim::msToCycles(50.0));
+
+    const os::RequestId lf = rig.cluster.localIdOf(rig.front, gid);
+    const os::RequestId lb = rig.cluster.localIdOf(rig.back, gid);
+    EXPECT_EQ(rig.cluster.globalIdOf(rig.front, lf), gid);
+    EXPECT_EQ(rig.cluster.globalIdOf(rig.back, lb), gid);
+    // Unknown local ids map to the invalid global id.
+    EXPECT_EQ(rig.cluster.globalIdOf(rig.front, 424242),
+              InvalidGlobalRequestId);
+}
+
+TEST(Cluster, ManyRequestsAllTracked)
+{
+    TwoNodeRig rig;
+    std::vector<GlobalRequestId> gids;
+    for (int i = 0; i < 20; ++i)
+        gids.push_back(rig.inject());
+    rig.eq.runUntil(sim::msToCycles(500.0));
+
+    EXPECT_EQ(rig.cluster.completedRequests(), 20u);
+    for (const auto gid : gids) {
+        const auto &info = rig.cluster.request(gid);
+        EXPECT_TRUE(info.done);
+        EXPECT_GT(info.totals().instructions, 150000.0);
+    }
+}
+
+TEST(Cluster, MergedTimelineSerializesCrossMachineExecution)
+{
+    TwoNodeRig rig;
+
+    // Attach a sampler on each node.
+    core::SamplerConfig sc;
+    sc.periodUs = 5.0;
+    core::InterruptSampler sf(rig.cluster.kernel(rig.front), sc);
+    core::InterruptSampler sb(rig.cluster.kernel(rig.back), sc);
+    sf.start();
+    sb.start();
+
+    const auto gid = rig.inject();
+    rig.eq.runUntil(sim::msToCycles(50.0));
+
+    const auto merged =
+        rig.cluster.mergedTimeline(gid, {&sf, &sb});
+    ASSERT_GT(merged.periods.size(), 5u);
+    // Wall-clock ordered.
+    for (std::size_t i = 1; i < merged.periods.size(); ++i) {
+        EXPECT_GE(merged.periods[i].wallStart,
+                  merged.periods[i - 1].wallStart);
+    }
+    // The merged timeline covers roughly the whole request.
+    const auto &info = rig.cluster.request(gid);
+    EXPECT_NEAR(merged.totalInstructions(),
+                info.totals().instructions,
+                info.totals().instructions * 0.4);
+    // The front's low-CPI work precedes the back's CPI-2 work:
+    // compare aggregate CPI of the first vs second half (individual
+    // boundary periods carry kernel-cost noise).
+    const std::size_t half = merged.periods.size() / 2;
+    auto agg = [&](std::size_t lo, std::size_t hi) {
+        double cyc = 0.0, ins = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            cyc += merged.periods[i].cycles;
+            ins += merged.periods[i].instructions;
+        }
+        return cyc / std::max(ins, 1.0);
+    };
+    EXPECT_LT(agg(0, half), agg(half, merged.periods.size()));
+}
+
+TEST(Cluster, NodesShareOneClock)
+{
+    TwoNodeRig rig;
+    rig.inject();
+    rig.eq.runUntil(sim::msToCycles(10.0));
+    // Both kernels report the same simulated time.
+    EXPECT_EQ(rig.cluster.kernel(rig.front).now(),
+              rig.cluster.kernel(rig.back).now());
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the discrete event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace rbv::sim;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(10, [&order, i] { order.push_back(i); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.runUntil(100);
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsFalse)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(50, [&] { ++count; });
+    eq.runUntil(20);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 20u);
+    eq.runUntil(100);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, ScheduleFromWithinEvent)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    eq.schedule(10, [&] {
+        fired.push_back(eq.now());
+        eq.scheduleIn(5, [&] { fired.push_back(eq.now()); });
+    });
+    eq.runUntil(100);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], 10u);
+    EXPECT_EQ(fired[1], 15u);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTickFiresThisRun)
+{
+    EventQueue eq;
+    bool inner = false;
+    eq.schedule(10, [&] {
+        eq.schedule(eq.now(), [&] { inner = true; });
+    });
+    eq.runUntil(100);
+    EXPECT_TRUE(inner);
+}
+
+TEST(EventQueue, RequestStopHaltsProcessing)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] {
+        ++count;
+        eq.requestStop();
+    });
+    eq.schedule(20, [&] { ++count; });
+    eq.runUntil(100);
+    EXPECT_EQ(count, 1);
+    // A later runUntil resumes.
+    eq.runUntil(100);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    eq.schedule(5, [] {});
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, SizeAndEmptyTrackPending)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    const EventId a = eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.size(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.runUntil(10);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, FiredCountExcludesCancelled)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    eq.cancel(a);
+    eq.runUntil(10);
+    EXPECT_EQ(eq.firedCount(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStressOrder)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 1000; ++i) {
+        const Tick when = (i * 7919) % 1000;
+        eq.schedule(when, [&, when] {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    eq.runUntil(2000);
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(eq.firedCount(), 1000u);
+}

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the five application workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "wl/apps.hh"
+#include "wl/tpcc.hh"
+#include "wl/tpch.hh"
+#include "wl/webwork.hh"
+
+using namespace rbv;
+using namespace rbv::wl;
+
+namespace {
+
+std::vector<std::unique_ptr<RequestSpec>>
+generateMany(App app, int n, std::uint64_t seed = 1)
+{
+    auto gen = makeGenerator(app);
+    stats::Rng rng(seed);
+    std::vector<std::unique_ptr<RequestSpec>> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(gen->generate(rng));
+    return out;
+}
+
+} // namespace
+
+/** Shared structural properties, checked for every application. */
+class AllApps : public ::testing::TestWithParam<App>
+{
+};
+
+TEST_P(AllApps, SpecsAreWellFormed)
+{
+    auto gen = makeGenerator(GetParam());
+    const auto tiers = gen->tiers();
+    ASSERT_FALSE(tiers.empty());
+
+    stats::Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        auto spec = gen->generate(rng);
+        ASSERT_FALSE(spec->stages.empty());
+        EXPECT_FALSE(spec->className.empty());
+        EXPECT_GT(spec->totalInstructions(), 0.0);
+        for (const auto &stage : spec->stages) {
+            EXPECT_GE(stage.tier, 0);
+            EXPECT_LT(stage.tier, static_cast<int>(tiers.size()));
+            for (const auto &seg : stage.segments) {
+                EXPECT_GT(seg.params.baseCpi, 0.0);
+                EXPECT_GE(seg.params.refsPerIns, 0.0);
+                EXPECT_GE(seg.instructions, 0.0);
+                EXPECT_LE(seg.params.curve.baseMissRatio, 1.0);
+            }
+        }
+        // First stage must start on an existing tier.
+        EXPECT_GE(spec->stages.front().tier, 0);
+    }
+}
+
+TEST_P(AllApps, DeterministicForSameSeed)
+{
+    auto a = generateMany(GetParam(), 10, 42);
+    auto b = generateMany(GetParam(), 10, 42);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(a[i]->className, b[i]->className);
+        EXPECT_DOUBLE_EQ(a[i]->totalInstructions(),
+                         b[i]->totalInstructions());
+        EXPECT_EQ(a[i]->totalSegments(), b[i]->totalSegments());
+    }
+}
+
+TEST_P(AllApps, SamplingDefaultsMatchPaper)
+{
+    auto gen = makeGenerator(GetParam());
+    const double p = gen->defaultSamplingPeriodUs();
+    // Sec. 3.1: 10 us (web), 100 us (TPCC, RUBiS), 1 ms (TPCH,
+    // WeBWorK).
+    switch (GetParam()) {
+      case App::WebServer:
+        EXPECT_DOUBLE_EQ(p, 10.0);
+        break;
+      case App::Tpcc:
+      case App::Rubis:
+        EXPECT_DOUBLE_EQ(p, 100.0);
+        break;
+      case App::Tpch:
+      case App::WebWork:
+        EXPECT_DOUBLE_EQ(p, 1000.0);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AllApps,
+                         ::testing::ValuesIn(allApps()),
+                         [](const auto &info) {
+                             return std::to_string(
+                                 static_cast<int>(info.param));
+                         });
+
+TEST(WebServerGenT, RequestLengthsAreSubMillion)
+{
+    for (const auto &s : generateMany(App::WebServer, 200)) {
+        EXPECT_GT(s->totalInstructions(), 2.0e4);
+        EXPECT_LT(s->totalInstructions(), 3.0e6);
+    }
+}
+
+TEST(WebServerGenT, ClassMixRoughly35_50_14_1)
+{
+    std::map<int, int> counts;
+    const int n = 4000;
+    for (const auto &s : generateMany(App::WebServer, n))
+        ++counts[s->classId];
+    EXPECT_NEAR(counts[0] / double(n), 0.35, 0.03);
+    EXPECT_NEAR(counts[1] / double(n), 0.50, 0.03);
+    EXPECT_NEAR(counts[2] / double(n), 0.14, 0.02);
+    EXPECT_NEAR(counts[3] / double(n), 0.01, 0.01);
+}
+
+TEST(WebServerGenT, WritevPresentInEveryRequest)
+{
+    for (const auto &s : generateMany(App::WebServer, 50)) {
+        bool has_writev = false;
+        for (const auto &seg : s->stages[0].segments)
+            if (seg.hasSyscall && seg.sysId == os::Sys::writev)
+                has_writev = true;
+        EXPECT_TRUE(has_writev);
+    }
+}
+
+TEST(TpccGenT, MixIs45_43_4_4_4)
+{
+    std::map<int, int> counts;
+    const int n = 6000;
+    for (const auto &s : generateMany(App::Tpcc, n))
+        ++counts[s->classId];
+    EXPECT_NEAR(counts[TpccGen::NewOrder] / double(n), 0.45, 0.02);
+    EXPECT_NEAR(counts[TpccGen::Payment] / double(n), 0.43, 0.02);
+    EXPECT_NEAR(counts[TpccGen::OrderStatus] / double(n), 0.04, 0.01);
+    EXPECT_NEAR(counts[TpccGen::Delivery] / double(n), 0.04, 0.01);
+    EXPECT_NEAR(counts[TpccGen::StockLevel] / double(n), 0.04, 0.01);
+}
+
+TEST(TpccGenT, TypesHaveDistinctLengthScales)
+{
+    std::map<int, double> sum, cnt;
+    for (const auto &s : generateMany(App::Tpcc, 3000)) {
+        sum[s->classId] += s->totalInstructions();
+        cnt[s->classId] += 1.0;
+    }
+    const double payment = sum[TpccGen::Payment] / cnt[TpccGen::Payment];
+    const double new_order =
+        sum[TpccGen::NewOrder] / cnt[TpccGen::NewOrder];
+    const double delivery =
+        sum[TpccGen::Delivery] / cnt[TpccGen::Delivery];
+    EXPECT_LT(payment, new_order);
+    EXPECT_LT(new_order, delivery);
+}
+
+TEST(TpchGenT, SeventeenQueries)
+{
+    EXPECT_EQ(TpchGen::querySet().size(), 17u);
+    // The paper's subset: Q2..Q22 minus Q1, Q10, Q16, Q18, Q21.
+    const std::set<int> qs(TpchGen::querySet().begin(),
+                           TpchGen::querySet().end());
+    EXPECT_TRUE(qs.count(20));
+    EXPECT_FALSE(qs.count(1));
+    EXPECT_FALSE(qs.count(10));
+    EXPECT_FALSE(qs.count(16));
+    EXPECT_FALSE(qs.count(18));
+    EXPECT_FALSE(qs.count(21));
+}
+
+TEST(TpchGenT, EqualQueryProportions)
+{
+    std::map<int, int> counts;
+    const int n = 3400;
+    for (const auto &s : generateMany(App::Tpch, n))
+        ++counts[s->classId];
+    for (int q : TpchGen::querySet())
+        EXPECT_NEAR(counts[q] / double(n), 1.0 / 17.0, 0.02);
+}
+
+TEST(TpchGenT, Q20IsLong)
+{
+    TpchGen gen;
+    stats::Rng rng(5);
+    const auto spec = gen.generateQuery(20, rng);
+    EXPECT_EQ(spec->classId, 20);
+    EXPECT_NEAR(spec->totalInstructions(), 8.0e7, 2.5e7);
+}
+
+TEST(RubisGenT, MultiTierStageChains)
+{
+    for (const auto &s : generateMany(App::Rubis, 100)) {
+        EXPECT_GE(s->stages.size(), 4u);
+        // Starts and ends at the web tier.
+        EXPECT_EQ(s->stages.front().tier, 0);
+        EXPECT_EQ(s->stages.back().tier, 0);
+        // Visits the DB tier at least once.
+        bool db = false;
+        for (const auto &st : s->stages)
+            db = db || st.tier == 2;
+        EXPECT_TRUE(db);
+    }
+}
+
+TEST(WebWorkGenT, SameProblemSharesInherentPattern)
+{
+    WebWorkGen gen;
+    stats::Rng rng(9);
+    const auto a = gen.generateProblem(954, rng);
+    const auto b = gen.generateProblem(954, rng);
+    // Same problem: identical segment structure (per-request jitter
+    // only perturbs lengths a few percent).
+    EXPECT_EQ(a->totalSegments(), b->totalSegments());
+    EXPECT_NEAR(a->totalInstructions() / b->totalInstructions(), 1.0,
+                0.05);
+    const auto c = gen.generateProblem(955, rng);
+    EXPECT_NE(a->totalSegments(), c->totalSegments());
+}
+
+TEST(WebWorkGenT, IdenticalPrologueAcrossProblems)
+{
+    WebWorkGen gen;
+    stats::Rng rng(9);
+    const auto a = gen.generateProblem(1, rng);
+    const auto b = gen.generateProblem(2000, rng);
+    // First segments identical byte-for-byte (module loading).
+    for (int i = 0; i < 6; ++i) {
+        const auto &sa = a->stages[0].segments[i];
+        const auto &sb = b->stages[0].segments[i];
+        EXPECT_DOUBLE_EQ(sa.instructions, sb.instructions);
+        EXPECT_DOUBLE_EQ(sa.params.baseCpi, sb.params.baseCpi);
+    }
+}
+
+TEST(WebWorkGenT, LongRequests)
+{
+    double max_ins = 0.0;
+    for (const auto &s : generateMany(App::WebWork, 100)) {
+        EXPECT_GT(s->totalInstructions(), 3.0e7);
+        EXPECT_LT(s->totalInstructions(), 7.0e8);
+        max_ins = std::max(max_ins, s->totalInstructions());
+    }
+    EXPECT_GT(max_ins, 1.5e8);
+}
+
+TEST(Apps, NamesRoundTrip)
+{
+    for (App app : allApps()) {
+        EXPECT_FALSE(appDisplayName(app).empty());
+    }
+    EXPECT_EQ(appFromName("tpcc"), App::Tpcc);
+    EXPECT_EQ(appFromName("webserver"), App::WebServer);
+    EXPECT_THROW(appFromName("nope"), std::invalid_argument);
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Cross-module invariant and property tests: conservation of work,
+ * attribution completeness, monotonicity of the contention model,
+ * and scheduling fairness properties that every valid configuration
+ * must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/analysis.hh"
+#include "exp/scenario.hh"
+#include "wl/mbench.hh"
+
+using namespace rbv;
+using namespace rbv::exp;
+
+namespace {
+
+ScenarioConfig
+baseConfig(wl::App app, std::size_t requests, std::uint64_t seed = 21)
+{
+    ScenarioConfig cfg;
+    cfg.app = app;
+    cfg.requests = requests;
+    cfg.warmup = 0; // every request inspected
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
+/** Parameterized over applications: attribution properties. */
+class InvariantAllApps : public ::testing::TestWithParam<wl::App>
+{
+};
+
+TEST_P(InvariantAllApps, RequestTotalsWithinMachineTotals)
+{
+    // The sum of per-request attributed instructions can never
+    // exceed what the machine executed, and for a server workload
+    // almost all executed work belongs to some request.
+    const auto res = runScenario(baseConfig(GetParam(), 40));
+    double attributed = 0.0;
+    for (const auto &r : res.records)
+        attributed += r.totals.instructions;
+
+    // busyCycles is in cycles; recompute machine instructions from
+    // the records' CPI-weighted totals is circular, so bound via
+    // cycles instead: attributed cycles <= busy cycles.
+    double attributed_cycles = 0.0;
+    for (const auto &r : res.records)
+        attributed_cycles += r.totals.cycles;
+    EXPECT_LE(attributed_cycles, res.busyCycles * (1.0 + 1e-9));
+    // Server workloads spend most busy time inside requests.
+    EXPECT_GT(attributed_cycles, res.busyCycles * 0.5);
+    EXPECT_GT(attributed, 0.0);
+}
+
+TEST_P(InvariantAllApps, TimelineNeverExceedsExactAccounting)
+{
+    const auto res = runScenario(baseConfig(GetParam(), 40));
+    for (const auto &r : res.records) {
+        // With "do no harm" compensation the sampled timeline can
+        // only under-count events relative to the exact totals (a
+        // small tail before completion is never sampled; the
+        // compensation never over-subtracts below zero).
+        EXPECT_LE(r.timeline.totalInstructions(),
+                  r.totals.instructions * 1.02);
+        for (const auto &p : r.timeline.periods) {
+            EXPECT_GE(p.instructions, 0.0);
+            EXPECT_GE(p.cycles, 0.0);
+            EXPECT_GE(p.l2Refs, 0.0);
+            EXPECT_GE(p.l2Misses, 0.0);
+            // Misses never exceed references.
+            EXPECT_LE(p.l2Misses, p.l2Refs + 1e-6);
+        }
+    }
+}
+
+TEST_P(InvariantAllApps, WallClockOrdering)
+{
+    const auto res = runScenario(baseConfig(GetParam(), 40));
+    for (const auto &r : res.records) {
+        EXPECT_GE(r.completed, r.injected);
+        // Periods are recorded in wall order.
+        sim::Tick prev = 0;
+        for (const auto &p : r.timeline.periods) {
+            EXPECT_GE(p.wallStart, prev);
+            prev = p.wallStart;
+        }
+        // A request's CPU time cannot exceed its wall latency times
+        // the core count.
+        EXPECT_LE(r.totals.cycles,
+                  static_cast<double>(r.completed - r.injected) * 4 +
+                      1e4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, InvariantAllApps,
+                         ::testing::Values(wl::App::WebServer,
+                                           wl::App::Tpcc,
+                                           wl::App::Rubis),
+                         [](const auto &info) {
+                             return wl::makeGenerator(info.param)
+                                 ->appName();
+                         });
+
+TEST(Invariant, CpiNeverBelowBase)
+{
+    // No request can beat its segments' best-case pipeline CPI by
+    // much (kernel fixed work has CPI >= 1.4; the cheapest user
+    // segments sit near 0.6).
+    const auto res = runScenario(baseConfig(wl::App::Tpcc, 60));
+    for (const auto &r : res.records)
+        EXPECT_GT(r.cpi(), 0.55);
+}
+
+TEST(Invariant, MoreCoresNeverSlowerWallClock)
+{
+    // Same workload, 1 vs 4 cores: total wall time must shrink (the
+    // requests are CPU bound and the closed loop is identical).
+    auto cfg1 = baseConfig(wl::App::Tpcc, 60);
+    cfg1.numCores = 1;
+    const auto r1 = runScenario(cfg1);
+    auto cfg4 = baseConfig(wl::App::Tpcc, 60);
+    const auto r4 = runScenario(cfg4);
+    EXPECT_LT(r4.wallCycles, r1.wallCycles);
+}
+
+TEST(Invariant, BiggerL2NeverHurtsCacheBoundWork)
+{
+    auto small = baseConfig(wl::App::Tpch, 25);
+    small.l2CapacityMiB = 2.0;
+    auto large = baseConfig(wl::App::Tpch, 25);
+    large.l2CapacityMiB = 8.0;
+    const double cpi_small =
+        overallMetric(runScenario(small).records, core::Metric::Cpi);
+    const double cpi_large =
+        overallMetric(runScenario(large).records, core::Metric::Cpi);
+    EXPECT_LT(cpi_large, cpi_small);
+}
+
+TEST(Invariant, SamplingPerturbsButDoesNotDistort)
+{
+    // With observer injection on vs off, the workload's overall CPI
+    // must agree within a few percent (the observer effect is real
+    // but small at the default periods).
+    auto on = baseConfig(wl::App::Tpcc, 60);
+    auto off = on;
+    off.injectObserverCost = false;
+    const double cpi_on =
+        overallMetric(runScenario(on).records, core::Metric::Cpi);
+    const double cpi_off =
+        overallMetric(runScenario(off).records, core::Metric::Cpi);
+    EXPECT_NEAR(cpi_on / cpi_off, 1.0, 0.05);
+}
+
+TEST(Invariant, SeedChangesDataNotShape)
+{
+    // Different seeds must produce different request streams but
+    // statistically consistent aggregates.
+    const auto a = runScenario(baseConfig(wl::App::Tpcc, 120, 1));
+    const auto b = runScenario(baseConfig(wl::App::Tpcc, 120, 2));
+    EXPECT_NE(a.wallCycles, b.wallCycles);
+    const double cpi_a = overallMetric(a.records, core::Metric::Cpi);
+    const double cpi_b = overallMetric(b.records, core::Metric::Cpi);
+    EXPECT_NEAR(cpi_a / cpi_b, 1.0, 0.25);
+}
+
+/** Sampling-period sweep: sample counts scale with frequency. */
+class PeriodSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PeriodSweep, SampleCountTracksPeriod)
+{
+    auto cfg = baseConfig(wl::App::Tpcc, 40);
+    cfg.samplingPeriodUs = GetParam();
+    const auto res = runScenario(cfg);
+    // Expected interrupt samples ~= busy time / period.
+    const double expected =
+        sim::cyclesToUs(res.busyCycles) / GetParam();
+    EXPECT_NEAR(
+        static_cast<double>(res.samplerStats.interruptSamples),
+        expected, expected * 0.35 + 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PeriodSweep,
+                         ::testing::Values(50.0, 100.0, 200.0, 400.0),
+                         [](const auto &info) {
+                             return "us" + std::to_string(
+                                               (int)info.param);
+                         });
+
+TEST(Invariant, ChannelFifoAcrossManyWaiters)
+{
+    // Messages must be delivered in order even when several workers
+    // wait on one channel: request ids complete in injection order
+    // for a deterministic single-core serial setup.
+    auto cfg = baseConfig(wl::App::Tpcc, 30);
+    cfg.numCores = 1;
+    cfg.concurrency = 1;
+    const auto res = runScenario(cfg);
+    for (std::size_t i = 1; i < res.records.size(); ++i)
+        EXPECT_GT(res.records[i].completed,
+                  res.records[i - 1].completed);
+}

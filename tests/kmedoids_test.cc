@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for k-medoids clustering (Sec. 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/model/kmedoids.hh"
+
+using namespace rbv;
+using namespace rbv::core;
+
+namespace {
+
+/** 1-D points -> distance matrix. */
+DistanceMatrix
+matrixOf(const std::vector<double> &points)
+{
+    return DistanceMatrix::build(
+        points.size(), [&](std::size_t i, std::size_t j) {
+            return std::abs(points[i] - points[j]);
+        });
+}
+
+} // namespace
+
+TEST(DistanceMatrix, SymmetricStorage)
+{
+    DistanceMatrix dm(3);
+    dm.set(0, 2, 5.0);
+    EXPECT_DOUBLE_EQ(dm.at(0, 2), 5.0);
+    EXPECT_DOUBLE_EQ(dm.at(2, 0), 5.0);
+    EXPECT_DOUBLE_EQ(dm.at(1, 1), 0.0);
+}
+
+TEST(DistanceMatrix, BuildCallsUpperTriangle)
+{
+    int calls = 0;
+    DistanceMatrix::build(4, [&](std::size_t, std::size_t) {
+        ++calls;
+        return 1.0;
+    });
+    EXPECT_EQ(calls, 6);
+}
+
+TEST(KMedoids, RecoversPlantedClusters)
+{
+    // Three tight groups far apart.
+    std::vector<double> pts;
+    for (double c : {0.0, 100.0, 200.0})
+        for (int i = 0; i < 10; ++i)
+            pts.push_back(c + i * 0.1);
+    stats::Rng rng(3);
+    const auto cl = kMedoids(matrixOf(pts), 3, rng);
+
+    // All members of a planted group share one cluster id.
+    for (int g = 0; g < 3; ++g) {
+        const std::size_t first = cl.assignment[g * 10];
+        for (int i = 1; i < 10; ++i)
+            EXPECT_EQ(cl.assignment[g * 10 + i], first);
+    }
+    // And different groups map to different clusters.
+    std::set<std::size_t> ids(cl.assignment.begin(),
+                              cl.assignment.end());
+    EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(KMedoids, MedoidIsCentralMember)
+{
+    std::vector<double> pts = {0.0, 1.0, 2.0, 3.0, 4.0};
+    stats::Rng rng(5);
+    const auto cl = kMedoids(matrixOf(pts), 1, rng);
+    ASSERT_EQ(cl.medoids.size(), 1u);
+    EXPECT_EQ(cl.medoids[0], 2u); // the median point
+}
+
+TEST(KMedoids, KClampedToN)
+{
+    std::vector<double> pts = {0.0, 1.0};
+    stats::Rng rng(7);
+    const auto cl = kMedoids(matrixOf(pts), 10, rng);
+    EXPECT_EQ(cl.medoids.size(), 2u);
+    EXPECT_DOUBLE_EQ(cl.totalCost, 0.0);
+}
+
+TEST(KMedoids, EmptyInput)
+{
+    stats::Rng rng(9);
+    const auto cl = kMedoids(DistanceMatrix(0), 3, rng);
+    EXPECT_TRUE(cl.medoids.empty());
+    EXPECT_TRUE(cl.assignment.empty());
+}
+
+TEST(KMedoids, CostDecreasesWithMoreClusters)
+{
+    stats::Rng prng(11);
+    std::vector<double> pts;
+    for (int i = 0; i < 60; ++i)
+        pts.push_back(prng.uniform(0.0, 100.0));
+    const auto dm = matrixOf(pts);
+    double prev = 1e18;
+    for (std::size_t k : {1u, 2u, 4u, 8u}) {
+        stats::Rng rng(13);
+        const auto cl = kMedoids(dm, k, rng);
+        EXPECT_LE(cl.totalCost, prev + 1e-9);
+        prev = cl.totalCost;
+    }
+}
+
+TEST(KMedoids, MembersOfPartitionsAll)
+{
+    std::vector<double> pts;
+    for (int i = 0; i < 30; ++i)
+        pts.push_back(i);
+    stats::Rng rng(15);
+    const auto cl = kMedoids(matrixOf(pts), 3, rng);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < cl.medoids.size(); ++c)
+        total += cl.membersOf(c).size();
+    EXPECT_EQ(total, pts.size());
+}
+
+TEST(Divergence, ZeroWhenPropertiesMatchMedoid)
+{
+    Clustering cl;
+    cl.medoids = {0};
+    cl.assignment = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(divergenceFromCentroid(cl, {2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(Divergence, KnownValue)
+{
+    Clustering cl;
+    cl.medoids = {0};
+    cl.assignment = {0, 0};
+    // |4-2|/2 averaged with |2-2|/2 -> 0.5.
+    EXPECT_DOUBLE_EQ(divergenceFromCentroid(cl, {2.0, 4.0}), 0.5);
+}
+
+TEST(Divergence, TightClustersBeatRandomAssignment)
+{
+    // Quality metric must rank a correct clustering above a planted
+    // wrong one.
+    std::vector<double> pts;
+    for (int i = 0; i < 20; ++i)
+        pts.push_back(i < 10 ? 1.0 + i * 0.01 : 10.0 + i * 0.01);
+    stats::Rng rng(17);
+    const auto good = kMedoids(matrixOf(pts), 2, rng);
+
+    Clustering bad;
+    bad.medoids = {0, 19};
+    bad.assignment.resize(20);
+    for (int i = 0; i < 20; ++i)
+        bad.assignment[i] = i % 2; // interleaved: wrong on purpose
+
+    EXPECT_LT(divergenceFromCentroid(good, pts),
+              divergenceFromCentroid(bad, pts));
+}

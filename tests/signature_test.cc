@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for online signature identification (Sec. 4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model/signature.hh"
+#include "stats/rng.hh"
+
+using namespace rbv;
+using namespace rbv::core;
+
+namespace {
+
+/** Class-c signature shape of length n. */
+MetricSeries
+shapeOf(int c, std::size_t n, stats::Rng *noise = nullptr)
+{
+    MetricSeries s;
+    for (std::size_t k = 0; k < n; ++k) {
+        double v = 0.02 + 0.01 * std::sin(0.2 * k + c) +
+                   0.004 * c;
+        if (noise)
+            v += noise->uniform(-0.001, 0.001);
+        s.push_back(v);
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(SignatureBank, IdentifiesExactMatch)
+{
+    SignatureBank bank(1000.0);
+    for (int c = 0; c < 5; ++c)
+        bank.add(shapeOf(c, 50), 1000.0 * (c + 1), c);
+    for (int c = 0; c < 5; ++c) {
+        const auto idx = bank.identify(shapeOf(c, 50));
+        ASSERT_NE(idx, SignatureBank::npos);
+        EXPECT_EQ(bank.entry(idx).classId, c);
+    }
+}
+
+TEST(SignatureBank, IdentifiesFromPrefix)
+{
+    SignatureBank bank(1000.0);
+    stats::Rng noise(41);
+    for (int c = 0; c < 5; ++c)
+        bank.add(shapeOf(c, 60), 100.0 * c, c);
+    for (int c = 0; c < 5; ++c) {
+        MetricSeries prefix = shapeOf(c, 12, &noise);
+        const auto idx = bank.identify(prefix);
+        ASSERT_NE(idx, SignatureBank::npos);
+        EXPECT_EQ(bank.entry(idx).classId, c);
+    }
+}
+
+TEST(SignatureBank, EmptyBankAndEmptyPartial)
+{
+    SignatureBank bank(1000.0);
+    EXPECT_EQ(bank.identify({0.1}), SignatureBank::npos);
+    bank.add({0.1, 0.2}, 10.0, 0);
+    EXPECT_EQ(bank.identify({}), SignatureBank::npos);
+}
+
+TEST(SignatureBank, AverageSignatureBlindToShape)
+{
+    // Two classes: same average, different shapes. The variation
+    // signature separates them; the average signature carries zero
+    // information to tell them apart (Sec. 4.4's motivation).
+    SignatureBank bank(1000.0);
+    MetricSeries rising, falling;
+    for (int k = 0; k < 20; ++k) {
+        rising.push_back(0.01 + 0.001 * k);
+        falling.push_back(0.01 + 0.001 * (19 - k));
+    }
+    bank.add(rising, 100.0, 0);
+    bank.add(falling, 200.0, 1);
+
+    // The variation signature distinguishes a noisy probe of either
+    // shape.
+    MetricSeries probe_rise = rising, probe_fall = falling;
+    for (auto &v : probe_rise)
+        v += 0.0001;
+    for (auto &v : probe_fall)
+        v += 0.0001;
+    EXPECT_EQ(bank.entry(bank.identify(probe_rise)).classId, 0);
+    EXPECT_EQ(bank.entry(bank.identify(probe_fall)).classId, 1);
+
+    // The stored average signatures are indistinguishable, so the
+    // same probes produce the same average-based match: no shape
+    // discrimination is possible.
+    EXPECT_NEAR(bank.entry(0).avgMetric, bank.entry(1).avgMetric,
+                1e-12);
+    EXPECT_EQ(bank.identifyByAverage(probe_rise),
+              bank.identifyByAverage(probe_fall));
+}
+
+TEST(SignatureBank, AverageIdentificationWorksWhenAveragesDiffer)
+{
+    SignatureBank bank(1000.0);
+    bank.add(MetricSeries(20, 0.01), 1.0, 0);
+    bank.add(MetricSeries(20, 0.05), 2.0, 1);
+    EXPECT_EQ(bank.entry(bank.identifyByAverage(MetricSeries(5, 0.048)))
+                  .classId,
+              1);
+}
+
+TEST(SignatureBank, StoresCpuCyclesForPrediction)
+{
+    SignatureBank bank(1000.0);
+    bank.add(shapeOf(0, 30), 12345.0, 0);
+    EXPECT_DOUBLE_EQ(bank.entry(0).cpuCycles, 12345.0);
+    EXPECT_EQ(bank.size(), 1u);
+}
+
+// ------------------------------------------------- RecentPastPredictor
+
+TEST(RecentPast, EmptyPredictsZero)
+{
+    RecentPastPredictor p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(RecentPast, AveragesWindow)
+{
+    RecentPastPredictor p(3);
+    p.observe(1.0);
+    p.observe(2.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 1.5);
+    p.observe(3.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+}
+
+TEST(RecentPast, SlidesWindow)
+{
+    RecentPastPredictor p(2);
+    p.observe(10.0);
+    p.observe(20.0);
+    p.observe(30.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 25.0); // last two only
+}
+
+TEST(RecentPast, DefaultWindowTen)
+{
+    RecentPastPredictor p; // window 10, per the paper
+    for (int i = 1; i <= 20; ++i)
+        p.observe(i);
+    EXPECT_DOUBLE_EQ(p.predict(), 15.5); // mean of 11..20
+}

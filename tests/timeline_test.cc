@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for timeline resampling into fixed instruction bins.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/timeline.hh"
+
+using namespace rbv::core;
+
+namespace {
+
+Period
+makePeriod(double ins, double cycles, double refs = 0.0,
+           double misses = 0.0)
+{
+    Period p;
+    p.instructions = ins;
+    p.cycles = cycles;
+    p.l2Refs = refs;
+    p.l2Misses = misses;
+    return p;
+}
+
+} // namespace
+
+TEST(Period, MetricAccessors)
+{
+    const Period p = makePeriod(1000.0, 2000.0, 50.0, 10.0);
+    EXPECT_DOUBLE_EQ(p.cpi(), 2.0);
+    EXPECT_DOUBLE_EQ(p.l2RefsPerIns(), 0.05);
+    EXPECT_DOUBLE_EQ(p.l2MissesPerIns(), 0.01);
+    EXPECT_DOUBLE_EQ(p.l2MissRatio(), 0.2);
+}
+
+TEST(Period, ZeroDenominatorsSafe)
+{
+    const Period p;
+    EXPECT_EQ(p.cpi(), 0.0);
+    EXPECT_EQ(p.l2MissRatio(), 0.0);
+}
+
+TEST(Timeline, Totals)
+{
+    Timeline tl;
+    tl.periods.push_back(makePeriod(100.0, 150.0));
+    tl.periods.push_back(makePeriod(200.0, 500.0));
+    EXPECT_DOUBLE_EQ(tl.totalInstructions(), 300.0);
+    EXPECT_DOUBLE_EQ(tl.totalCycles(), 650.0);
+}
+
+TEST(Binning, ExactBins)
+{
+    Timeline tl;
+    tl.periods.push_back(makePeriod(100.0, 100.0));
+    tl.periods.push_back(makePeriod(100.0, 300.0));
+    const auto s = binByInstructions(tl, 100.0, Metric::Cpi);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 1.0);
+    EXPECT_DOUBLE_EQ(s[1], 3.0);
+}
+
+TEST(Binning, PeriodSplitsAcrossBins)
+{
+    Timeline tl;
+    tl.periods.push_back(makePeriod(200.0, 400.0)); // CPI 2 throughout
+    const auto s = binByInstructions(tl, 100.0, Metric::Cpi);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 2.0);
+    EXPECT_DOUBLE_EQ(s[1], 2.0);
+}
+
+TEST(Binning, MultiplePeriodsMergeIntoOneBin)
+{
+    Timeline tl;
+    tl.periods.push_back(makePeriod(50.0, 50.0));   // CPI 1
+    tl.periods.push_back(makePeriod(50.0, 150.0));  // CPI 3
+    const auto s = binByInstructions(tl, 100.0, Metric::Cpi);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s[0], 2.0); // event-weighted blend
+}
+
+TEST(Binning, TrailingPartialBinRule)
+{
+    // 160 instructions at bin width 100: the trailing 60 >= half a
+    // bin, so it is kept.
+    Timeline tl;
+    tl.periods.push_back(makePeriod(160.0, 160.0));
+    EXPECT_EQ(binByInstructions(tl, 100.0, Metric::Cpi).size(), 2u);
+    // 130 instructions: the trailing 30 < half a bin is dropped.
+    Timeline tl2;
+    tl2.periods.push_back(makePeriod(130.0, 130.0));
+    EXPECT_EQ(binByInstructions(tl2, 100.0, Metric::Cpi).size(), 1u);
+}
+
+TEST(Binning, RefsAndMissMetrics)
+{
+    Timeline tl;
+    tl.periods.push_back(makePeriod(100.0, 100.0, 10.0, 5.0));
+    const auto refs =
+        binByInstructions(tl, 100.0, Metric::L2RefsPerIns);
+    const auto ratio =
+        binByInstructions(tl, 100.0, Metric::L2MissRatio);
+    ASSERT_EQ(refs.size(), 1u);
+    EXPECT_DOUBLE_EQ(refs[0], 0.1);
+    EXPECT_DOUBLE_EQ(ratio[0], 0.5);
+}
+
+TEST(Binning, PrefixLimitsInstructions)
+{
+    Timeline tl;
+    tl.periods.push_back(makePeriod(1000.0, 2000.0));
+    const auto s =
+        binPrefixByInstructions(tl, 100.0, 250.0, Metric::Cpi);
+    // 250 instructions -> 2 full bins + a half-full kept tail.
+    EXPECT_EQ(s.size(), 3u);
+    const auto s2 =
+        binPrefixByInstructions(tl, 100.0, 230.0, Metric::Cpi);
+    // A 30-instruction tail is below half a bin and dropped.
+    EXPECT_EQ(s2.size(), 2u);
+}
+
+TEST(Binning, EmptyAndDegenerateInputs)
+{
+    Timeline tl;
+    EXPECT_TRUE(binByInstructions(tl, 100.0, Metric::Cpi).empty());
+    tl.periods.push_back(makePeriod(0.0, 0.0));
+    EXPECT_TRUE(binByInstructions(tl, 100.0, Metric::Cpi).empty());
+    tl.periods.push_back(makePeriod(100.0, 100.0));
+    EXPECT_TRUE(binByInstructions(tl, 0.0, Metric::Cpi).empty());
+}
+
+TEST(Binning, InstructionMassConserved)
+{
+    // The number of full bins equals floor(total/width) and every
+    // full bin holds exactly `width` instructions by construction;
+    // verify via CPI of a non-uniform timeline staying within the
+    // period range.
+    Timeline tl;
+    tl.periods.push_back(makePeriod(150.0, 150.0));
+    tl.periods.push_back(makePeriod(250.0, 1000.0));
+    tl.periods.push_back(makePeriod(100.0, 50.0));
+    const auto s = binByInstructions(tl, 50.0, Metric::Cpi);
+    EXPECT_EQ(s.size(), 10u);
+    for (double v : s) {
+        EXPECT_GE(v, 0.5);
+        EXPECT_LE(v, 4.0);
+    }
+}
+
+TEST(MetricNames, AllDefined)
+{
+    EXPECT_STREQ(metricName(Metric::Cpi), "cycles/ins");
+    EXPECT_STREQ(metricName(Metric::L2RefsPerIns), "L2 refs/ins");
+    EXPECT_STREQ(metricName(Metric::L2MissesPerIns), "L2 misses/ins");
+    EXPECT_STREQ(metricName(Metric::L2MissRatio), "L2 miss ratio");
+}
