@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_intra_request.dir/bench_fig02_intra_request.cc.o"
+  "CMakeFiles/bench_fig02_intra_request.dir/bench_fig02_intra_request.cc.o.d"
+  "bench_fig02_intra_request"
+  "bench_fig02_intra_request.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_intra_request.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_variation_coefficients.dir/bench_fig03_variation_coefficients.cc.o"
+  "CMakeFiles/bench_fig03_variation_coefficients.dir/bench_fig03_variation_coefficients.cc.o.d"
+  "bench_fig03_variation_coefficients"
+  "bench_fig03_variation_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_variation_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_syscall_distances.dir/bench_fig04_syscall_distances.cc.o"
+  "CMakeFiles/bench_fig04_syscall_distances.dir/bench_fig04_syscall_distances.cc.o.d"
+  "bench_fig04_syscall_distances"
+  "bench_fig04_syscall_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_syscall_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_09_anomaly.dir/bench_fig08_09_anomaly.cc.o"
+  "CMakeFiles/bench_fig08_09_anomaly.dir/bench_fig08_09_anomaly.cc.o.d"
+  "bench_fig08_09_anomaly"
+  "bench_fig08_09_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_09_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_online_identification.dir/bench_fig10_online_identification.cc.o"
+  "CMakeFiles/bench_fig10_online_identification.dir/bench_fig10_online_identification.cc.o.d"
+  "bench_fig10_online_identification"
+  "bench_fig10_online_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_online_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hotpath_cost.dir/bench_micro_hotpath_cost.cc.o"
+  "CMakeFiles/bench_micro_hotpath_cost.dir/bench_micro_hotpath_cost.cc.o.d"
+  "bench_micro_hotpath_cost"
+  "bench_micro_hotpath_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hotpath_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_transition_signals.dir/bench_table2_transition_signals.cc.o"
+  "CMakeFiles/bench_table2_transition_signals.dir/bench_table2_transition_signals.cc.o.d"
+  "bench_table2_transition_signals"
+  "bench_table2_transition_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_transition_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

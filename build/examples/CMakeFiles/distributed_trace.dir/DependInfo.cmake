@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/distributed_trace.cpp" "examples/CMakeFiles/distributed_trace.dir/distributed_trace.cpp.o" "gcc" "examples/CMakeFiles/distributed_trace.dir/distributed_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rbv_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/rbv_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rbv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/rbv_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rbv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rbv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rbv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

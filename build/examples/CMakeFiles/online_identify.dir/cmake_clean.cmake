@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_identify.dir/online_identify.cpp.o"
+  "CMakeFiles/online_identify.dir/online_identify.cpp.o.d"
+  "online_identify"
+  "online_identify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_identify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

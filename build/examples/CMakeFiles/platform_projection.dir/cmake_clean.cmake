@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_projection.dir/platform_projection.cpp.o"
+  "CMakeFiles/platform_projection.dir/platform_projection.cpp.o.d"
+  "platform_projection"
+  "platform_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

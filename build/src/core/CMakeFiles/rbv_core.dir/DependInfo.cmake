@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/model/anomaly.cc" "src/core/CMakeFiles/rbv_core.dir/model/anomaly.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/model/anomaly.cc.o.d"
+  "/root/repo/src/core/model/distance.cc" "src/core/CMakeFiles/rbv_core.dir/model/distance.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/model/distance.cc.o.d"
+  "/root/repo/src/core/model/kmedoids.cc" "src/core/CMakeFiles/rbv_core.dir/model/kmedoids.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/model/kmedoids.cc.o.d"
+  "/root/repo/src/core/model/signature.cc" "src/core/CMakeFiles/rbv_core.dir/model/signature.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/model/signature.cc.o.d"
+  "/root/repo/src/core/predict/predictor.cc" "src/core/CMakeFiles/rbv_core.dir/predict/predictor.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/predict/predictor.cc.o.d"
+  "/root/repo/src/core/sampling/observer.cc" "src/core/CMakeFiles/rbv_core.dir/sampling/observer.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/sampling/observer.cc.o.d"
+  "/root/repo/src/core/sampling/sampler.cc" "src/core/CMakeFiles/rbv_core.dir/sampling/sampler.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/sampling/sampler.cc.o.d"
+  "/root/repo/src/core/sampling/transition.cc" "src/core/CMakeFiles/rbv_core.dir/sampling/transition.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/sampling/transition.cc.o.d"
+  "/root/repo/src/core/sched/contention.cc" "src/core/CMakeFiles/rbv_core.dir/sched/contention.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/sched/contention.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/core/CMakeFiles/rbv_core.dir/timeline.cc.o" "gcc" "src/core/CMakeFiles/rbv_core.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rbv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rbv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rbv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

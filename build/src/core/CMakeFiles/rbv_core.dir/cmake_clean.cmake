@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbv_core.dir/model/anomaly.cc.o"
+  "CMakeFiles/rbv_core.dir/model/anomaly.cc.o.d"
+  "CMakeFiles/rbv_core.dir/model/distance.cc.o"
+  "CMakeFiles/rbv_core.dir/model/distance.cc.o.d"
+  "CMakeFiles/rbv_core.dir/model/kmedoids.cc.o"
+  "CMakeFiles/rbv_core.dir/model/kmedoids.cc.o.d"
+  "CMakeFiles/rbv_core.dir/model/signature.cc.o"
+  "CMakeFiles/rbv_core.dir/model/signature.cc.o.d"
+  "CMakeFiles/rbv_core.dir/predict/predictor.cc.o"
+  "CMakeFiles/rbv_core.dir/predict/predictor.cc.o.d"
+  "CMakeFiles/rbv_core.dir/sampling/observer.cc.o"
+  "CMakeFiles/rbv_core.dir/sampling/observer.cc.o.d"
+  "CMakeFiles/rbv_core.dir/sampling/sampler.cc.o"
+  "CMakeFiles/rbv_core.dir/sampling/sampler.cc.o.d"
+  "CMakeFiles/rbv_core.dir/sampling/transition.cc.o"
+  "CMakeFiles/rbv_core.dir/sampling/transition.cc.o.d"
+  "CMakeFiles/rbv_core.dir/sched/contention.cc.o"
+  "CMakeFiles/rbv_core.dir/sched/contention.cc.o.d"
+  "CMakeFiles/rbv_core.dir/timeline.cc.o"
+  "CMakeFiles/rbv_core.dir/timeline.cc.o.d"
+  "librbv_core.a"
+  "librbv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

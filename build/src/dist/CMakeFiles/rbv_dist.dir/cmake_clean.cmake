@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbv_dist.dir/cluster.cc.o"
+  "CMakeFiles/rbv_dist.dir/cluster.cc.o.d"
+  "librbv_dist.a"
+  "librbv_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbv_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librbv_dist.a"
+)

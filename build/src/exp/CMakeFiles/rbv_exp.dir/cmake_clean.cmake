@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbv_exp.dir/analysis.cc.o"
+  "CMakeFiles/rbv_exp.dir/analysis.cc.o.d"
+  "CMakeFiles/rbv_exp.dir/cli.cc.o"
+  "CMakeFiles/rbv_exp.dir/cli.cc.o.d"
+  "CMakeFiles/rbv_exp.dir/scenario.cc.o"
+  "CMakeFiles/rbv_exp.dir/scenario.cc.o.d"
+  "CMakeFiles/rbv_exp.dir/trace.cc.o"
+  "CMakeFiles/rbv_exp.dir/trace.cc.o.d"
+  "librbv_exp.a"
+  "librbv_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbv_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

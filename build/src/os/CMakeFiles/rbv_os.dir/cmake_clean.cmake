@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbv_os.dir/kernel.cc.o"
+  "CMakeFiles/rbv_os.dir/kernel.cc.o.d"
+  "CMakeFiles/rbv_os.dir/syscall.cc.o"
+  "CMakeFiles/rbv_os.dir/syscall.cc.o.d"
+  "librbv_os.a"
+  "librbv_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbv_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbv_sim.dir/cache.cc.o"
+  "CMakeFiles/rbv_sim.dir/cache.cc.o.d"
+  "CMakeFiles/rbv_sim.dir/event_queue.cc.o"
+  "CMakeFiles/rbv_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/rbv_sim.dir/machine.cc.o"
+  "CMakeFiles/rbv_sim.dir/machine.cc.o.d"
+  "librbv_sim.a"
+  "librbv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

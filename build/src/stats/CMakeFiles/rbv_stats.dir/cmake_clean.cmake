@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbv_stats.dir/rng.cc.o"
+  "CMakeFiles/rbv_stats.dir/rng.cc.o.d"
+  "CMakeFiles/rbv_stats.dir/summary.cc.o"
+  "CMakeFiles/rbv_stats.dir/summary.cc.o.d"
+  "CMakeFiles/rbv_stats.dir/table.cc.o"
+  "CMakeFiles/rbv_stats.dir/table.cc.o.d"
+  "librbv_stats.a"
+  "librbv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

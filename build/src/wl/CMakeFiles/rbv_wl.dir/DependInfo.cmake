@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/apps.cc" "src/wl/CMakeFiles/rbv_wl.dir/apps.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/apps.cc.o.d"
+  "/root/repo/src/wl/mbench.cc" "src/wl/CMakeFiles/rbv_wl.dir/mbench.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/mbench.cc.o.d"
+  "/root/repo/src/wl/rubis.cc" "src/wl/CMakeFiles/rbv_wl.dir/rubis.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/rubis.cc.o.d"
+  "/root/repo/src/wl/server.cc" "src/wl/CMakeFiles/rbv_wl.dir/server.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/server.cc.o.d"
+  "/root/repo/src/wl/tpcc.cc" "src/wl/CMakeFiles/rbv_wl.dir/tpcc.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/tpcc.cc.o.d"
+  "/root/repo/src/wl/tpch.cc" "src/wl/CMakeFiles/rbv_wl.dir/tpch.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/tpch.cc.o.d"
+  "/root/repo/src/wl/webserver.cc" "src/wl/CMakeFiles/rbv_wl.dir/webserver.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/webserver.cc.o.d"
+  "/root/repo/src/wl/webwork.cc" "src/wl/CMakeFiles/rbv_wl.dir/webwork.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/webwork.cc.o.d"
+  "/root/repo/src/wl/worker.cc" "src/wl/CMakeFiles/rbv_wl.dir/worker.cc.o" "gcc" "src/wl/CMakeFiles/rbv_wl.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rbv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rbv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rbv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbv_wl.dir/apps.cc.o"
+  "CMakeFiles/rbv_wl.dir/apps.cc.o.d"
+  "CMakeFiles/rbv_wl.dir/mbench.cc.o"
+  "CMakeFiles/rbv_wl.dir/mbench.cc.o.d"
+  "CMakeFiles/rbv_wl.dir/rubis.cc.o"
+  "CMakeFiles/rbv_wl.dir/rubis.cc.o.d"
+  "CMakeFiles/rbv_wl.dir/server.cc.o"
+  "CMakeFiles/rbv_wl.dir/server.cc.o.d"
+  "CMakeFiles/rbv_wl.dir/tpcc.cc.o"
+  "CMakeFiles/rbv_wl.dir/tpcc.cc.o.d"
+  "CMakeFiles/rbv_wl.dir/tpch.cc.o"
+  "CMakeFiles/rbv_wl.dir/tpch.cc.o.d"
+  "CMakeFiles/rbv_wl.dir/webserver.cc.o"
+  "CMakeFiles/rbv_wl.dir/webserver.cc.o.d"
+  "CMakeFiles/rbv_wl.dir/webwork.cc.o"
+  "CMakeFiles/rbv_wl.dir/webwork.cc.o.d"
+  "CMakeFiles/rbv_wl.dir/worker.cc.o"
+  "CMakeFiles/rbv_wl.dir/worker.cc.o.d"
+  "librbv_wl.a"
+  "librbv_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbv_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_edge_test.dir/os_edge_test.cc.o"
+  "CMakeFiles/os_edge_test.dir/os_edge_test.cc.o.d"
+  "os_edge_test"
+  "os_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
