@@ -22,6 +22,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -38,12 +39,21 @@ struct Variant
     int cores;
 };
 
+/** Variant order fixes the table rows: the serial baseline must stay
+ *  first because the inflation column is relative to it. */
+const Variant Variants[] = {
+    {"1-core baseline", -1.0, 1},
+    {"4-core, full model", -1.0, 4},
+    {"4-core, infinite L2", 4096.0, 4},
+    {"1-core, infinite L2", 4096.0, 1},
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t requests =
         static_cast<std::size_t>(cli.getInt("requests", 150));
@@ -53,25 +63,31 @@ main(int argc, char **argv)
            "sharing, with bandwidth queueing second; removing the "
            "mechanisms removes the effect");
 
-    const Variant variants[] = {
-        {"1-core baseline", -1.0, 1},
-        {"4-core, full model", -1.0, 4},
-        {"4-core, infinite L2", 4096.0, 4},
-        {"1-core, infinite L2", 4096.0, 1},
-    };
+    ScenarioConfig base;
+    base.app = wl::App::Tpch;
+    base.seed = seed;
+    base.requests = requests;
+    base.warmup = requests / 10;
+
+    std::vector<ScenarioGrid::Level> levels;
+    for (const auto &v : Variants) {
+        levels.push_back({std::string("var=") + v.name,
+                          [&v](ScenarioConfig &c) {
+                              c.numCores = v.cores;
+                              c.l2CapacityMiB = v.l2MiB;
+                          }});
+    }
+    ScenarioGrid grid(base);
+    grid.axis(std::move(levels));
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
 
     stats::Table t({"variant", "mean CPI", "90-pct CPI",
                     "inflation vs serial"});
     double serial_p90 = 0.0;
-    for (const auto &v : variants) {
-        ScenarioConfig cfg;
-        cfg.app = wl::App::Tpch;
-        cfg.seed = seed;
-        cfg.requests = requests;
-        cfg.warmup = requests / 10;
-        cfg.numCores = v.cores;
-        cfg.l2CapacityMiB = v.l2MiB;
-        const auto res = runScenario(cfg);
+    for (std::size_t vi = 0; vi < std::size(Variants); ++vi) {
+        const auto &v = Variants[vi];
+        const auto &res = results[vi].result;
         const auto cpis = requestCpis(res.records);
         const double p90 = stats::quantile(cpis, 0.90);
         if (serial_p90 == 0.0)

@@ -20,6 +20,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
@@ -35,12 +36,29 @@ overallCpi(const std::vector<RequestRecord> &records)
     return overallMetric(records, core::Metric::Cpi);
 }
 
+/** Sampled overall CPI: from the sampled timelines, not the exact
+ *  kernel accounting. */
+double
+sampledCpi(const std::vector<RequestRecord> &records)
+{
+    double cycles = 0.0, ins = 0.0;
+    for (const auto &r : records) {
+        cycles += r.timeline.totalCycles();
+        ins += r.timeline.totalInstructions();
+    }
+    return cycles / ins;
+}
+
+const std::vector<double> CompPeriodsUs = {5.0, 10.0, 20.0, 50.0};
+const std::vector<double> SweepPeriodsUs = {10.0, 50.0, 100.0, 500.0,
+                                            2000.0};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t requests =
         static_cast<std::size_t>(cli.getInt("requests", 500));
@@ -56,43 +74,71 @@ main(int argc, char **argv)
     // "measured" CPI of each variant comes from its sampled
     // timelines; its bias against the unperturbed truth is what
     // compensation exists to remove.
+    ScenarioConfig comp_base;
+    comp_base.app = wl::App::WebServer;
+    comp_base.seed = seed;
+    comp_base.requests = requests;
+    comp_base.warmup = requests / 10;
+    // Single core: contention coupling would otherwise let the
+    // sampling perturbation shift the co-runner mix and bury the
+    // observer effect in scheduling noise.
+    comp_base.numCores = 1;
+
+    ScenarioGrid comp_grid(comp_base);
+    comp_grid
+        .sweep("period", CompPeriodsUs,
+               [](ScenarioConfig &c, double p) {
+                   c.samplingPeriodUs = p;
+               })
+        .variants({{"truth",
+                    [](ScenarioConfig &c) {
+                        c.injectObserverCost = false;
+                    }},
+                   {"uncompensated",
+                    [](ScenarioConfig &c) { c.compensate = false; }},
+                   {"compensated",
+                    [](ScenarioConfig &c) { c.compensate = true; }}});
+
+    // --- (2) Period sweep: overhead vs captured variation (TPCC) ---
+    ScenarioConfig sweep_base;
+    sweep_base.app = wl::App::Tpcc;
+    sweep_base.seed = seed;
+    sweep_base.requests = requests / 2;
+    sweep_base.warmup = requests / 20;
+    ScenarioGrid sweep_grid(sweep_base);
+    sweep_grid.sweep("period", SweepPeriodsUs,
+                     [](ScenarioConfig &c, double p) {
+                         c.samplingPeriodUs = p;
+                     });
+
+    // Both parts are one concurrent campaign; part 2 keys get an app
+    // prefix so they cannot collide with part 1's period levels.
+    auto jobs = comp_grid.jobs();
+    for (auto &job : sweep_grid.jobs()) {
+        job.key = "tpcc/" + job.key;
+        jobs.push_back(std::move(job));
+    }
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(jobs);
+
+    // Part 1 rows: jobs expand period-major, variants inner
+    // (truth, uncompensated, compensated).
     std::cout << "(1) observer-effect compensation (web server; "
                  "signed bias of the sampled overall CPI vs an "
                  "unperturbed run):\n";
     stats::Table t1({"period", "bias uncompensated",
                      "bias compensated"});
-    for (double period_us : {5.0, 10.0, 20.0, 50.0}) {
-        ScenarioConfig base;
-        base.app = wl::App::WebServer;
-        base.seed = seed;
-        base.requests = requests;
-        base.warmup = requests / 10;
-        base.samplingPeriodUs = period_us;
-        // Single core: contention coupling would otherwise let the
-        // sampling perturbation shift the co-runner mix and bury the
-        // observer effect in scheduling noise.
-        base.numCores = 1;
-
-        ScenarioConfig truth_cfg = base;
-        truth_cfg.injectObserverCost = false;
-        const double truth =
-            overallCpi(runScenario(truth_cfg).records);
-
-        double bias[2] = {0.0, 0.0};
-        for (int comp = 0; comp < 2; ++comp) {
-            ScenarioConfig cfg = base;
-            cfg.compensate = comp == 1;
-            const auto res = runScenario(cfg);
-            double cycles = 0.0, ins = 0.0;
-            for (const auto &r : res.records) {
-                cycles += r.timeline.totalCycles();
-                ins += r.timeline.totalInstructions();
-            }
-            bias[comp] = (cycles / ins - truth) / truth;
-        }
-        t1.addRow({stats::Table::fmt(period_us, 0) + " us",
-                   stats::Table::pct(bias[0], 2),
-                   stats::Table::pct(bias[1], 2)});
+    for (std::size_t pi = 0; pi < CompPeriodsUs.size(); ++pi) {
+        const auto &truth_res = results[pi * 3 + 0].result;
+        const auto &uncomp_res = results[pi * 3 + 1].result;
+        const auto &comp_res = results[pi * 3 + 2].result;
+        const double truth = overallCpi(truth_res.records);
+        t1.addRow(
+            {stats::Table::fmt(CompPeriodsUs[pi], 0) + " us",
+             stats::Table::pct(
+                 (sampledCpi(uncomp_res.records) - truth) / truth, 2),
+             stats::Table::pct(
+                 (sampledCpi(comp_res.records) - truth) / truth, 2)});
     }
     t1.print(std::cout);
     measured("the uncompensated bias grows as the period shrinks "
@@ -100,19 +146,13 @@ main(int argc, char **argv)
              "remove most of it and stay non-negative on average "
              "(\"do no harm\")");
 
-    // --- (2) Period sweep: overhead vs captured variation ----------
     std::cout << "\n(2) sampling-period trade-off (TPCC):\n";
     stats::Table t2({"period", "overhead (CPU)", "captured CoV",
                      "samples"});
-    for (double period_us : {10.0, 50.0, 100.0, 500.0, 2000.0}) {
-        ScenarioConfig cfg;
-        cfg.app = wl::App::Tpcc;
-        cfg.seed = seed;
-        cfg.requests = requests / 2;
-        cfg.warmup = requests / 20;
-        cfg.samplingPeriodUs = period_us;
-        const auto res = runScenario(cfg);
-        t2.addRow({stats::Table::fmt(period_us, 0) + " us",
+    const std::size_t sweep_at = CompPeriodsUs.size() * 3;
+    for (std::size_t si = 0; si < SweepPeriodsUs.size(); ++si) {
+        const auto &res = results[sweep_at + si].result;
+        t2.addRow({stats::Table::fmt(SweepPeriodsUs[si], 0) + " us",
                    stats::Table::pct(res.samplingOverheadFraction(),
                                      3),
                    stats::Table::fmt(

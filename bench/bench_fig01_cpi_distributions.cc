@@ -17,6 +17,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/online.hh"
 #include "stats/summary.hh"
@@ -59,7 +60,8 @@ defaultRequests(wl::App app)
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv,
+                  {"seed", "requests", "no-hist", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const bool show_hist = !cli.has("no-hist");
 
@@ -67,24 +69,34 @@ main(int argc, char **argv)
            "multicore sharing obfuscates request CPI; 90-pct CPI "
            "roughly doubles for TPCH, WeBWorK unaffected");
 
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    grid.apps(wl::allApps())
+        .variants(
+            {{"1-core",
+              [](ScenarioConfig &c) { c.numCores = 1; }},
+             {"4-core",
+              [](ScenarioConfig &c) { c.numCores = 4; }}})
+        .finalize([&](ScenarioConfig &c) {
+            c.requests = static_cast<std::size_t>(cli.getInt(
+                "requests",
+                static_cast<long>(defaultRequests(c.app))));
+            c.warmup = c.requests / 10;
+        });
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
+
     stats::Table table({"application", "cores", "requests",
                         "mean CPI", "90-pct CPI", "std/mean",
                         "90pct 4c/1c"});
 
     for (wl::App app : wl::allApps()) {
-        const std::size_t requests = static_cast<std::size_t>(
-            cli.getInt("requests",
-                       static_cast<long>(defaultRequests(app))));
-
         double p90[2] = {0.0, 0.0};
         for (int cores : {1, 4}) {
-            ScenarioConfig cfg;
-            cfg.app = app;
-            cfg.numCores = cores;
-            cfg.seed = seed;
-            cfg.requests = requests;
-            cfg.warmup = requests / 10;
-            const auto res = runScenario(cfg);
+            const auto &res = resultFor(
+                results, "app=" + wl::appShortName(app) + "/var=" +
+                             std::to_string(cores) + "-core");
 
             const auto cpis = requestCpis(res.records);
             const double mean = stats::mean(cpis);

@@ -17,6 +17,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/online.hh"
 #include "stats/table.hh"
@@ -55,7 +56,8 @@ defaultRequests(wl::App app)
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "rows", "csv",
+                               "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t max_rows = static_cast<std::size_t>(
         cli.getInt("rows", 24));
@@ -65,15 +67,20 @@ main(int argc, char **argv)
            "executions; request lengths range from ~10^5 (web) to "
            "~6x10^8 (WeBWorK) instructions");
 
-    for (wl::App app : wl::allApps()) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed;
-        cfg.requests = static_cast<std::size_t>(
-            cli.getInt("requests",
-                       static_cast<long>(defaultRequests(app))));
-        cfg.warmup = cfg.requests / 10;
-        const auto res = runScenario(cfg);
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    grid.apps(wl::allApps()).finalize([&](ScenarioConfig &c) {
+        c.requests = static_cast<std::size_t>(cli.getInt(
+            "requests", static_cast<long>(defaultRequests(c.app))));
+        c.warmup = c.requests / 10;
+    });
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
+
+    for (std::size_t ai = 0; ai < wl::allApps().size(); ++ai) {
+        const wl::App app = wl::allApps()[ai];
+        const auto &res = results[ai].result;
 
         // Pick the representative request: the longest member of the
         // representative class (or the longest overall).

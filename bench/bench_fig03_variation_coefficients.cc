@@ -15,6 +15,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
@@ -41,7 +42,7 @@ defaultRequests(wl::App app)
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
 
     banner("Figure 3",
@@ -56,16 +57,22 @@ main(int argc, char **argv)
     stats::Table t({"application", "metric", "inter-request CoV",
                     "with intra CoV", "intra/inter"});
 
-    for (wl::App app : wl::allApps()) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed;
-        cfg.requests = static_cast<std::size_t>(cli.getInt(
-            "requests", static_cast<long>(defaultRequests(app))));
-        cfg.warmup = cfg.requests / 10;
-        // App-specific sampling periods per Sec. 3.1 (the scenario
-        // default already applies 10 us / 100 us / 1 ms).
-        const auto res = runScenario(cfg);
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    // App-specific sampling periods per Sec. 3.1 (the scenario
+    // default already applies 10 us / 100 us / 1 ms).
+    grid.apps(wl::allApps()).finalize([&](ScenarioConfig &c) {
+        c.requests = static_cast<std::size_t>(cli.getInt(
+            "requests", static_cast<long>(defaultRequests(c.app))));
+        c.warmup = c.requests / 10;
+    });
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
+
+    for (std::size_t ai = 0; ai < wl::allApps().size(); ++ai) {
+        const wl::App app = wl::allApps()[ai];
+        const auto &res = results[ai].result;
 
         for (core::Metric m : metrics) {
             const auto cov = covInterIntra(res.records, m);

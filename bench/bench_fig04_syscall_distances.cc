@@ -13,6 +13,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
@@ -39,7 +40,7 @@ defaultRequests(wl::App app)
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
 
     banner("Figure 4", "Next system call distance distributions",
@@ -58,16 +59,22 @@ main(int argc, char **argv)
     stats::Table tb({"application", "4K", "16K", "64K", "256K", "1M",
                      "4M", "16M"});
 
-    for (wl::App app : wl::allApps()) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed;
-        cfg.requests = static_cast<std::size_t>(cli.getInt(
-            "requests", static_cast<long>(defaultRequests(app))));
-        cfg.warmup = cfg.requests / 10;
-        cfg.recordSyscallGaps = true;
-        cfg.sampler = SamplerKind::None; // unperturbed gaps
-        const auto res = runScenario(cfg);
+    ScenarioConfig base;
+    base.seed = seed;
+    base.recordSyscallGaps = true;
+    base.sampler = SamplerKind::None; // unperturbed gaps
+    ScenarioGrid grid(base);
+    grid.apps(wl::allApps()).finalize([&](ScenarioConfig &c) {
+        c.requests = static_cast<std::size_t>(cli.getInt(
+            "requests", static_cast<long>(defaultRequests(c.app))));
+        c.warmup = c.requests / 10;
+    });
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
+
+    for (std::size_t ai = 0; ai < wl::allApps().size(); ++ai) {
+        const wl::App app = wl::allApps()[ai];
+        const auto &res = results[ai].result;
 
         std::vector<double> us_cycles;
         for (double v : us_points)

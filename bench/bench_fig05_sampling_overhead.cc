@@ -20,6 +20,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
@@ -46,7 +47,7 @@ defaultRequests(wl::App app)
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
 
     banner("Figure 5",
@@ -54,42 +55,72 @@ main(int argc, char **argv)
            "syscall-triggered sampling saves 18-38% overhead at "
            "matched sampling frequency");
 
+    const ParallelRunner runner(runnerOptions(cli));
+    ScenarioConfig base;
+    base.seed = seed;
+    const auto perApp = [&](ScenarioConfig &c) {
+        c.requests = static_cast<std::size_t>(cli.getInt(
+            "requests", static_cast<long>(defaultRequests(c.app))));
+        c.warmup = c.requests / 10;
+    };
+
+    // Phase 1: interrupt-based sampling at each app's period
+    // (Sec. 3.1), all applications concurrently.
+    ScenarioGrid igrid(base);
+    igrid.apps(wl::allApps()).finalize([&](ScenarioConfig &c) {
+        c.sampler = SamplerKind::Interrupt;
+        perApp(c);
+    });
+    const auto int_results = runner.run(igrid.jobs());
+
+    // Phase 2: per-app syscall-triggered calibration — find
+    // T_syscall_min so the overall sampling frequency matches the
+    // interrupt run, starting from the interrupt period and
+    // correcting by the observed ratio. Each app's serial correction
+    // chain is one job; the apps run concurrently.
+    std::vector<Job> cal_jobs;
+    for (std::size_t ai = 0; ai < wl::allApps().size(); ++ai) {
+        const wl::App app = wl::allApps()[ai];
+        const std::uint64_t int_samples =
+            int_results[ai].result.samplerStats.totalSamples();
+
+        Job job;
+        job.key = "app=" + wl::appShortName(app) + "/var=syscall";
+        job.config = base;
+        job.config.app = app;
+        perApp(job.config);
+        const double period = effectivePeriodUs(job.config);
+        job.config.sampler = SamplerKind::Syscall;
+        job.config.minGapUs = period;
+        job.config.backupUs = 8.0 * period;
+        job.body = [int_samples](const ScenarioConfig &start) {
+            ScenarioConfig scfg = start;
+            auto sr = runScenario(scfg);
+            for (int iter = 0; iter < 4; ++iter) {
+                const double ratio =
+                    static_cast<double>(
+                        sr.samplerStats.totalSamples()) /
+                    static_cast<double>(int_samples);
+                if (ratio > 0.92 && ratio < 1.09)
+                    break;
+                scfg.minGapUs = std::max(0.25, scfg.minGapUs * ratio);
+                scfg.backupUs = 8.0 * scfg.minGapUs;
+                sr = runScenario(scfg);
+            }
+            return sr;
+        };
+        cal_jobs.push_back(std::move(job));
+    }
+    const auto sys_results = runner.run(cal_jobs);
+
     stats::Table t({"application", "interrupt base cost",
                     "int samples", "sys samples", "sys in-kernel %",
                     "normalized cost", "CoV int", "CoV sys"});
 
-    for (wl::App app : wl::allApps()) {
-        ScenarioConfig base;
-        base.app = app;
-        base.seed = seed;
-        base.requests = static_cast<std::size_t>(cli.getInt(
-            "requests", static_cast<long>(defaultRequests(app))));
-        base.warmup = base.requests / 10;
-
-        // Interrupt-based sampling at the app's period (Sec. 3.1).
-        ScenarioConfig icfg = base;
-        icfg.sampler = SamplerKind::Interrupt;
-        const auto ir = runScenario(icfg);
-
-        // Syscall-triggered sampling: calibrate T_syscall_min so the
-        // overall sampling frequency matches, starting from the
-        // interrupt period and correcting once by the observed ratio.
-        const double period = effectivePeriodUs(base);
-        ScenarioConfig scfg = base;
-        scfg.sampler = SamplerKind::Syscall;
-        scfg.minGapUs = period;
-        scfg.backupUs = 8.0 * period;
-        auto sr = runScenario(scfg);
-        for (int iter = 0; iter < 4; ++iter) {
-            const double ratio =
-                static_cast<double>(sr.samplerStats.totalSamples()) /
-                static_cast<double>(ir.samplerStats.totalSamples());
-            if (ratio > 0.92 && ratio < 1.09)
-                break;
-            scfg.minGapUs = std::max(0.25, scfg.minGapUs * ratio);
-            scfg.backupUs = 8.0 * scfg.minGapUs;
-            sr = runScenario(scfg);
-        }
+    for (std::size_t ai = 0; ai < wl::allApps().size(); ++ai) {
+        const wl::App app = wl::allApps()[ai];
+        const auto &ir = int_results[ai].result;
+        const auto &sr = sys_results[ai].result;
 
         const double cov_i =
             periodsCov(ir.records, core::Metric::Cpi);

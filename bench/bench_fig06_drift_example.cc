@@ -17,6 +17,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
@@ -26,7 +27,7 @@ using namespace rbv::exp;
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t requests =
         static_cast<std::size_t>(cli.getInt("requests", 400));
@@ -41,7 +42,9 @@ main(int argc, char **argv)
     cfg.seed = seed;
     cfg.requests = requests;
     cfg.warmup = requests / 10;
-    const auto res = runScenario(cfg);
+    const auto results = ParallelRunner(runnerOptions(cli))
+                             .run(ScenarioGrid(cfg).jobs());
+    const auto &res = results.front().result;
 
     // Candidate set: new-order requests.
     std::vector<const RequestRecord *> cand;

@@ -23,6 +23,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
@@ -55,7 +56,8 @@ const core::Measure AllMeasures[] = {
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv,
+                  {"seed", "requests", "k", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t k = static_cast<std::size_t>(cli.getInt("k", 10));
 
@@ -68,14 +70,20 @@ main(int argc, char **argv)
                      "DTW", "DTW+penalty"});
     stats::Table tb = ta;
 
-    for (wl::App app : wl::allApps()) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed;
-        cfg.requests = static_cast<std::size_t>(cli.getInt(
-            "requests", static_cast<long>(defaultRequests(app))));
-        cfg.warmup = cfg.requests / 10;
-        const auto res = runScenario(cfg);
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    grid.apps(wl::allApps()).finalize([&](ScenarioConfig &c) {
+        c.requests = static_cast<std::size_t>(cli.getInt(
+            "requests", static_cast<long>(defaultRequests(c.app))));
+        c.warmup = c.requests / 10;
+    });
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
+
+    for (std::size_t ai = 0; ai < wl::allApps().size(); ++ai) {
+        const wl::App app = wl::allApps()[ai];
+        const auto &res = results[ai].result;
 
         const double bin = defaultBinIns(res.records, 60);
         const auto series =

@@ -22,6 +22,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -102,10 +103,26 @@ printComparison(const RequestRecord &anom, const RequestRecord &ref,
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "webwork-requests",
+                               "rows", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t rows =
         static_cast<std::size_t>(cli.getInt("rows", 16));
+
+    // Both figures' scenarios run as one concurrent campaign.
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    grid.apps({wl::App::Tpch, wl::App::WebWork})
+        .finalize([&](ScenarioConfig &c) {
+            c.requests = static_cast<std::size_t>(
+                c.app == wl::App::Tpch
+                    ? cli.getInt("requests", 170)
+                    : cli.getInt("webwork-requests", 110));
+            c.warmup = c.requests / 10;
+        });
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
 
     // ---------------- Figure 8: TPCH Q20 centroid anomaly ----------
     banner("Figure 8", "Anomalous TPCH request vs group centroid "
@@ -113,13 +130,7 @@ main(int argc, char **argv)
            "the anomaly exhibits higher CPI for much of its "
            "execution; CPI inflation matches L2 miss inflation");
     {
-        ScenarioConfig cfg;
-        cfg.app = wl::App::Tpch;
-        cfg.seed = seed;
-        cfg.requests = static_cast<std::size_t>(
-            cli.getInt("requests", 170));
-        cfg.warmup = cfg.requests / 10;
-        const auto res = runScenario(cfg);
+        const auto &res = resultFor(results, "app=tpch");
 
         std::vector<const RequestRecord *> group;
         for (const auto &r : res.records)
@@ -156,13 +167,7 @@ main(int argc, char **argv)
            "(problem 954 in the paper) but differs in CPI in some "
            "execution regions");
     {
-        ScenarioConfig cfg;
-        cfg.app = wl::App::WebWork;
-        cfg.seed = seed;
-        cfg.requests = static_cast<std::size_t>(
-            cli.getInt("webwork-requests", 110));
-        cfg.warmup = cfg.requests / 10;
-        const auto res = runScenario(cfg);
+        const auto &res = resultFor(results, "app=webwork");
 
         // Group by problem id; analyze the largest group (popular
         // problems recur thanks to the Zipf over problem sets).

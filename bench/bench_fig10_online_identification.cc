@@ -26,6 +26,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -67,7 +68,8 @@ defaultRequests(wl::App app)
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv,
+                  {"seed", "requests", "bank", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t bank_target = static_cast<std::size_t>(
         cli.getInt("bank", 500));
@@ -78,14 +80,20 @@ main(int argc, char **argv)
            ">=10% vs average-value signatures on 4 of 5 apps; both "
            "fail on WeBWorK (identical early executions)");
 
-    for (wl::App app : wl::allApps()) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed;
-        cfg.requests = static_cast<std::size_t>(cli.getInt(
-            "requests", static_cast<long>(defaultRequests(app))));
-        cfg.warmup = cfg.requests / 20;
-        const auto res = runScenario(cfg);
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    grid.apps(wl::allApps()).finalize([&](ScenarioConfig &c) {
+        c.requests = static_cast<std::size_t>(cli.getInt(
+            "requests", static_cast<long>(defaultRequests(c.app))));
+        c.warmup = c.requests / 20;
+    });
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
+
+    for (std::size_t ai = 0; ai < wl::allApps().size(); ++ai) {
+        const wl::App app = wl::allApps()[ai];
+        const auto &res = results[ai].result;
 
         const double unit = progressUnitIns(app);
         const std::size_t bank_n =

@@ -17,6 +17,7 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/online.hh"
 #include "stats/table.hh"
@@ -27,7 +28,7 @@ using namespace rbv::exp;
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
 
     banner("Figure 11", "Online prediction of L2 misses/instruction "
@@ -46,14 +47,21 @@ main(int argc, char **argv)
         roster.push_back(
             std::make_unique<core::VaEwmaPredictor>(a, unit));
 
-    for (wl::App app : {wl::App::Tpch, wl::App::WebWork}) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed;
-        cfg.requests = static_cast<std::size_t>(cli.getInt(
-            "requests", app == wl::App::Tpch ? 150 : 100));
-        cfg.warmup = cfg.requests / 10;
-        const auto res = runScenario(cfg);
+    const std::vector<wl::App> apps = {wl::App::Tpch, wl::App::WebWork};
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    grid.apps(apps).finalize([&](ScenarioConfig &c) {
+        c.requests = static_cast<std::size_t>(cli.getInt(
+            "requests", c.app == wl::App::Tpch ? 150 : 100));
+        c.warmup = c.requests / 10;
+    });
+    const auto results =
+        ParallelRunner(runnerOptions(cli)).run(grid.jobs());
+
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const wl::App app = apps[ai];
+        const auto &res = results[ai].result;
 
         stats::Table t({"predictor", "RMS error (misses/ins)"});
         double best_va = 1e30, worst_base = 0.0;

@@ -13,11 +13,14 @@
  */
 
 #include <iostream>
+#include <map>
 
 #include "core/sched/contention.hh"
+#include "exp/aggregate.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
@@ -26,51 +29,23 @@ using namespace rbv::exp;
 
 namespace {
 
-struct AvgContention
+/** Attach a fresh contention-easing policy tuned to @p threshold. */
+void
+applyEasing(ScenarioConfig &cfg, double threshold)
 {
-    double ge2 = 0.0, ge3 = 0.0, eq4 = 0.0;
-};
-
-AvgContention
-runSet(wl::App app, bool easing, double threshold, std::uint64_t seed,
-       std::size_t requests, int runs)
-{
-    AvgContention acc;
-    for (int r = 0; r < runs; ++r) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed + static_cast<std::uint64_t>(r) * 1000;
-        cfg.requests = requests;
-        cfg.warmup = requests / 10;
-        cfg.concurrency = app == wl::App::Tpch ? 12 : 16;
-        cfg.monitorThreshold = threshold;
-        if (easing) {
-            // The policy compares smoothed (vaEWMA) predictions
-            // against the threshold; since smoothing pulls spiky
-            // period values toward their local mean, the comparable
-            // prediction-side threshold sits below the raw
-            // 80-percentile of period values.
-            auto policy =
-                std::make_shared<core::ContentionEasingPolicy>(
-                    core::ContentionConfig{0.7 * threshold,
-                                           sim::msToCycles(5.0), 0.6,
-                                           static_cast<double>(
-                                               sim::msToCycles(1.0))});
-            cfg.policy = policy;
-            cfg.onSamplerReady = [policy](os::Kernel &k,
-                                          core::Sampler &s) {
-                policy->attachSampler(k, s);
-            };
-        }
-        const auto res = runScenario(cfg);
-        acc.ge2 += res.contention.fractionAtLeast(2);
-        acc.ge3 += res.contention.fractionAtLeast(3);
-        acc.eq4 += res.contention.fractionAtLeast(4);
-    }
-    acc.ge2 /= runs;
-    acc.ge3 /= runs;
-    acc.eq4 /= runs;
-    return acc;
+    // The policy compares smoothed (vaEWMA) predictions against the
+    // threshold; since smoothing pulls spiky period values toward
+    // their local mean, the comparable prediction-side threshold
+    // sits below the raw 80-percentile of period values.
+    auto policy = std::make_shared<core::ContentionEasingPolicy>(
+        core::ContentionConfig{0.7 * threshold, sim::msToCycles(5.0),
+                               0.6,
+                               static_cast<double>(
+                                   sim::msToCycles(1.0))});
+    cfg.policy = policy;
+    cfg.onSamplerReady = [policy](os::Kernel &k, core::Sampler &s) {
+        policy->attachSampler(k, s);
+    };
 }
 
 } // namespace
@@ -78,7 +53,8 @@ runSet(wl::App app, bool easing, double threshold, std::uint64_t seed,
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv,
+                  {"seed", "requests", "runs", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const int runs = static_cast<int>(cli.getInt("runs", 5));
 
@@ -87,45 +63,86 @@ main(int argc, char **argv)
            "the all-4-cores-high proportion drops by ~25% under "
            "contention-easing scheduling for TPCH and WeBWorK");
 
+    const ParallelRunner runner(runnerOptions(cli));
+    const std::vector<wl::App> apps = {wl::App::Tpch, wl::App::WebWork};
+    const auto requestsFor = [&](wl::App app) {
+        return static_cast<std::size_t>(cli.getInt(
+            "requests", app == wl::App::Tpch ? 300 : 160));
+    };
+    const auto concurrencyFor = [](wl::App app) {
+        return app == wl::App::Tpch ? 12 : 16;
+    };
+
+    // Phase 1: calibrate each application's 80-percentile threshold
+    // from a baseline run (both apps concurrently).
+    ScenarioGrid cal;
+    cal.apps(apps).finalize([&](ScenarioConfig &c) {
+        c.seed = seed + 7;
+        c.requests = requestsFor(c.app) / 2;
+        c.warmup = c.requests / 10;
+        c.concurrency = concurrencyFor(c.app);
+    });
+    const auto cal_results = runner.run(cal.jobs());
+
+    std::map<wl::App, double> threshold;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        threshold[apps[i]] =
+            missesPerInsQuantile(cal_results[i].result.records, 0.80);
+    }
+
+    // Phase 2: the full app x scheduler x replicate campaign.
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    grid.apps(apps)
+        .variants({{"original", nullptr},
+                   {"easing",
+                    [&](ScenarioConfig &c) {
+                        applyEasing(c, threshold.at(c.app));
+                    }}})
+        .replicates(runs)
+        .finalize([&](ScenarioConfig &c) {
+            c.requests = requestsFor(c.app);
+            c.warmup = c.requests / 10;
+            c.concurrency = concurrencyFor(c.app);
+            c.monitorThreshold = threshold.at(c.app);
+        });
+    const auto results = runner.run(grid.jobs());
+
     stats::Table t({"application", "scheduler", ">=2 cores",
                     ">=3 cores", "4 cores", "4-core reduction"});
 
-    for (wl::App app : {wl::App::Tpch, wl::App::WebWork}) {
-        const std::size_t requests = static_cast<std::size_t>(
-            cli.getInt("requests", app == wl::App::Tpch ? 300 : 160));
-
-        // Calibrate the 80-percentile threshold from a baseline run.
-        double threshold;
-        {
-            ScenarioConfig cal;
-            cal.app = app;
-            cal.seed = seed + 7;
-            cal.requests = requests / 2;
-            cal.warmup = cal.requests / 10;
-            cal.concurrency = app == wl::App::Tpch ? 12 : 16;
-            const auto res = runScenario(cal);
-            threshold = missesPerInsQuantile(res.records, 0.80);
+    for (wl::App app : apps) {
+        std::map<std::string, ReplicateSummary> agg;
+        for (const std::string &var : {"original", "easing"}) {
+            for (int r = 0; r < runs; ++r) {
+                const auto &res = resultFor(
+                    results, "app=" + wl::appShortName(app) +
+                                 "/var=" + var +
+                                 "/rep=" + std::to_string(r));
+                agg[var].add("ge2", res.contention.fractionAtLeast(2));
+                agg[var].add("ge3", res.contention.fractionAtLeast(3));
+                agg[var].add("eq4", res.contention.fractionAtLeast(4));
+            }
         }
 
-        const auto orig =
-            runSet(app, false, threshold, seed, requests, runs);
-        const auto eased =
-            runSet(app, true, threshold, seed, requests, runs);
-
+        const auto &orig = agg.at("original");
+        const auto &eased = agg.at("easing");
         t.addRow({wl::appDisplayName(app), "original",
-                  stats::Table::pct(orig.ge2, 1),
-                  stats::Table::pct(orig.ge3, 1),
-                  stats::Table::pct(orig.eq4, 2), "-"});
+                  stats::Table::pct(orig.mean("ge2"), 1),
+                  stats::Table::pct(orig.mean("ge3"), 1),
+                  stats::Table::pct(orig.mean("eq4"), 2), "-"});
         t.addRow({wl::appDisplayName(app), "contention easing",
-                  stats::Table::pct(eased.ge2, 1),
-                  stats::Table::pct(eased.ge3, 1),
-                  stats::Table::pct(eased.eq4, 2),
-                  stats::Table::pct(
-                      1.0 - eased.eq4 / std::max(orig.eq4, 1e-9),
-                      0)});
+                  stats::Table::pct(eased.mean("ge2"), 1),
+                  stats::Table::pct(eased.mean("ge3"), 1),
+                  stats::Table::pct(eased.mean("eq4"), 2),
+                  stats::Table::pct(1.0 - eased.mean("eq4") /
+                                              std::max(orig.mean("eq4"),
+                                                       1e-9),
+                                    0)});
         std::cout << wl::appDisplayName(app)
                   << ": 80-pct misses/ins threshold = "
-                  << stats::Table::fmt(threshold * 1e3, 3)
+                  << stats::Table::fmt(threshold.at(app) * 1e3, 3)
                   << "e-3\n";
     }
 

@@ -11,11 +11,13 @@
  */
 
 #include <iostream>
+#include <map>
 
 #include "core/sched/contention.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -30,37 +32,17 @@ struct CpiSummary
     double avg = 0.0, p99 = 0.0, p999 = 0.0;
 };
 
+/** Pool per-request CPIs over the replicates of one campaign cell. */
 CpiSummary
-runSet(wl::App app, bool easing, double threshold, std::uint64_t seed,
-       std::size_t requests, int runs)
+summarize(const std::vector<JobResult> &results, wl::App app,
+          const std::string &var, int runs)
 {
     std::vector<double> cpis;
     for (int r = 0; r < runs; ++r) {
-        ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed + static_cast<std::uint64_t>(r) * 1000;
-        cfg.requests = requests;
-        cfg.warmup = requests / 10;
-        cfg.concurrency = app == wl::App::Tpch ? 12 : 16;
-        if (easing) {
-            // The policy compares smoothed (vaEWMA) predictions
-            // against the threshold; since smoothing pulls spiky
-            // period values toward their local mean, the comparable
-            // prediction-side threshold sits below the raw
-            // 80-percentile of period values.
-            auto policy =
-                std::make_shared<core::ContentionEasingPolicy>(
-                    core::ContentionConfig{0.7 * threshold,
-                                           sim::msToCycles(5.0), 0.6,
-                                           static_cast<double>(
-                                               sim::msToCycles(1.0))});
-            cfg.policy = policy;
-            cfg.onSamplerReady = [policy](os::Kernel &k,
-                                          core::Sampler &s) {
-                policy->attachSampler(k, s);
-            };
-        }
-        const auto res = runScenario(cfg);
+        const auto &res =
+            resultFor(results, "app=" + wl::appShortName(app) +
+                                   "/var=" + var +
+                                   "/rep=" + std::to_string(r));
         const auto c = requestCpis(res.records);
         cpis.insert(cpis.end(), c.begin(), c.end());
     }
@@ -71,12 +53,32 @@ runSet(wl::App app, bool easing, double threshold, std::uint64_t seed,
     return out;
 }
 
+/** Attach a fresh contention-easing policy tuned to @p threshold. */
+void
+applyEasing(ScenarioConfig &cfg, double threshold)
+{
+    // The policy compares smoothed (vaEWMA) predictions against the
+    // threshold; since smoothing pulls spiky period values toward
+    // their local mean, the comparable prediction-side threshold
+    // sits below the raw 80-percentile of period values.
+    auto policy = std::make_shared<core::ContentionEasingPolicy>(
+        core::ContentionConfig{0.7 * threshold, sim::msToCycles(5.0),
+                               0.6,
+                               static_cast<double>(
+                                   sim::msToCycles(1.0))});
+    cfg.policy = policy;
+    cfg.onSamplerReady = [policy](os::Kernel &k, core::Sampler &s) {
+        policy->attachSampler(k, s);
+    };
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv,
+                  {"seed", "requests", "runs", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const int runs = static_cast<int>(cli.getInt("runs", 8));
 
@@ -85,30 +87,57 @@ main(int argc, char **argv)
            "~10% reduction in worst-case (99 / 99.9 percentile) "
            "request CPI; average essentially unchanged");
 
+    const ParallelRunner runner(runnerOptions(cli));
+    const std::vector<wl::App> apps = {wl::App::Tpch, wl::App::WebWork};
+    const auto requestsFor = [&](wl::App app) {
+        return static_cast<std::size_t>(cli.getInt(
+            "requests", app == wl::App::Tpch ? 300 : 160));
+    };
+    const auto concurrencyFor = [](wl::App app) {
+        return app == wl::App::Tpch ? 12 : 16;
+    };
+
+    // Phase 1: per-app 80-percentile threshold calibration.
+    ScenarioGrid cal;
+    cal.apps(apps).finalize([&](ScenarioConfig &c) {
+        c.seed = seed + 7;
+        c.requests = requestsFor(c.app) / 2;
+        c.warmup = c.requests / 10;
+        c.concurrency = concurrencyFor(c.app);
+    });
+    const auto cal_results = runner.run(cal.jobs());
+
+    std::map<wl::App, double> threshold;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        threshold[apps[i]] =
+            missesPerInsQuantile(cal_results[i].result.records, 0.80);
+    }
+
+    // Phase 2: app x scheduler x replicate campaign.
+    ScenarioConfig base;
+    base.seed = seed;
+    ScenarioGrid grid(base);
+    grid.apps(apps)
+        .variants({{"original", nullptr},
+                   {"easing",
+                    [&](ScenarioConfig &c) {
+                        applyEasing(c, threshold.at(c.app));
+                    }}})
+        .replicates(runs)
+        .finalize([&](ScenarioConfig &c) {
+            c.requests = requestsFor(c.app);
+            c.warmup = c.requests / 10;
+            c.concurrency = concurrencyFor(c.app);
+        });
+    const auto results = runner.run(grid.jobs());
+
     stats::Table t({"application", "scheduler", "average",
                     "99 percentile", "99.9 percentile",
                     "worst-case change"});
 
-    for (wl::App app : {wl::App::Tpch, wl::App::WebWork}) {
-        const std::size_t requests = static_cast<std::size_t>(
-            cli.getInt("requests", app == wl::App::Tpch ? 300 : 160));
-
-        double threshold;
-        {
-            ScenarioConfig cal;
-            cal.app = app;
-            cal.seed = seed + 7;
-            cal.requests = requests / 2;
-            cal.warmup = cal.requests / 10;
-            cal.concurrency = app == wl::App::Tpch ? 12 : 16;
-            const auto res = runScenario(cal);
-            threshold = missesPerInsQuantile(res.records, 0.80);
-        }
-
-        const auto orig =
-            runSet(app, false, threshold, seed, requests, runs);
-        const auto eased =
-            runSet(app, true, threshold, seed, requests, runs);
+    for (wl::App app : apps) {
+        const auto orig = summarize(results, app, "original", runs);
+        const auto eased = summarize(results, app, "easing", runs);
 
         t.addRow({wl::appDisplayName(app), "original",
                   stats::Table::fmt(orig.avg),

@@ -21,16 +21,50 @@
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
 #include "exp/report.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
 using namespace rbv;
 using namespace rbv::exp;
 
+namespace {
+
+/**
+ * Job body: re-run @p start, scaling minGapUs until the sample count
+ * matches @p target_samples (the paper's matched-frequency setup).
+ */
+Job
+calibrationJob(std::string key, ScenarioConfig start,
+               std::uint64_t target_samples)
+{
+    Job job;
+    job.key = std::move(key);
+    job.config = std::move(start);
+    job.body = [target_samples](const ScenarioConfig &cfg) {
+        ScenarioConfig c = cfg;
+        auto res = runScenario(c);
+        for (int iter = 0; iter < 4; ++iter) {
+            const double ratio =
+                static_cast<double>(
+                    res.samplerStats.totalSamples()) /
+                static_cast<double>(target_samples);
+            if (ratio > 0.92 && ratio < 1.09)
+                break;
+            c.minGapUs = std::max(0.25, c.minGapUs * ratio);
+            res = runScenario(c);
+        }
+        return res;
+    };
+    return job;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const Cli cli(argc, argv);
+    const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t requests =
         static_cast<std::size_t>(cli.getInt("requests", 700));
@@ -41,30 +75,55 @@ main(int argc, char **argv)
            "shutdown +0.82, read +0.61, open -0.14, write -0.11 "
            "(CPI change over 10us windows, mean +/- std)");
 
-    // --- Part 1: online training with syscall-aligned sampling ---
-    // The production sampler takes its samples at system call
-    // entries, so the sampled periods align exactly with the
-    // before/after windows of each call; training uses the same
-    // alignment (~10 us windows given the web server's call density).
+    const ParallelRunner runner(runnerOptions(cli));
+
+    ScenarioConfig base;
+    base.app = wl::App::WebServer;
+    base.seed = seed;
+    base.requests = requests;
+    base.warmup = requests / 10;
+    base.sampler = SamplerKind::Syscall;
+
+    // --- Phase A: the two trainer runs and the plain-sampling
+    // baseline are independent; run them concurrently. The trainers
+    // attach inside their scenarios via the sampler hook; training
+    // uses syscall-aligned sampling (~10 us windows given the web
+    // server's call density).
+    std::unique_ptr<core::TransitionTrainer> trainer;
+    std::unique_ptr<core::BigramTransitionTrainer> btrainer;
+
+    ScenarioGrid phase_a(base);
+    phase_a.variants(
+        {{"train-unigram",
+          [&trainer](ScenarioConfig &c) {
+              c.minGapUs = 1.0;
+              c.backupUs = 50.0;
+              c.onSamplerReady = [&trainer](os::Kernel &k,
+                                            core::Sampler &s) {
+                  trainer =
+                      std::make_unique<core::TransitionTrainer>(k, s);
+              };
+          }},
+         {"plain",
+          [](ScenarioConfig &c) {
+              c.minGapUs = 10.0;
+              c.backupUs = 80.0;
+          }},
+         {"train-bigram", [&btrainer](ScenarioConfig &c) {
+              c.minGapUs = 1.0;
+              c.backupUs = 50.0;
+              c.onSamplerReady = [&btrainer](os::Kernel &k,
+                                             core::Sampler &s) {
+                  btrainer = std::make_unique<
+                      core::BigramTransitionTrainer>(k, s);
+              };
+          }}});
+    const auto phase_a_results = runner.run(phase_a.jobs());
+    const auto &pr = resultFor(phase_a_results, "var=plain");
+
+    // --- Part 1 report: ranked signals and the selected triggers.
     std::vector<os::Sys> triggers;
     {
-        ScenarioConfig cfg;
-        cfg.app = wl::App::WebServer;
-        cfg.seed = seed;
-        cfg.requests = requests;
-        cfg.warmup = requests / 10;
-        cfg.sampler = SamplerKind::Syscall;
-        cfg.minGapUs = 1.0;
-        cfg.backupUs = 50.0;
-
-        // The trainer attaches inside the scenario via the sampler
-        // hook.
-        std::unique_ptr<core::TransitionTrainer> trainer;
-        cfg.onSamplerReady = [&](os::Kernel &k, core::Sampler &s) {
-            trainer = std::make_unique<core::TransitionTrainer>(k, s);
-        };
-        (void)runScenario(cfg);
-
         stats::Table t({"system call", "CPI change (mean±std)",
                         "occurrences"});
         for (const auto &sig : trainer->ranked(50)) {
@@ -85,34 +144,30 @@ main(int argc, char **argv)
             std::cout << " " << os::sysName(s);
         std::cout << " (paper selects writev, lseek, stat, poll)\n\n";
     }
+    const auto bigrams = btrainer->selectTriggers(6, 50);
 
-    // --- Part 2: targeted sampling vs plain syscall sampling ---
-    ScenarioConfig plain;
-    plain.app = wl::App::WebServer;
-    plain.seed = seed;
-    plain.requests = requests;
-    plain.warmup = requests / 10;
-    plain.sampler = SamplerKind::Syscall;
-    plain.minGapUs = 10.0;
-    plain.backupUs = 80.0;
-    const auto pr = runScenario(plain);
-
-    // Targeted sampling: only the selected triggers; smaller minimum
-    // gap so the overall frequency matches (calibrated by ratio).
-    ScenarioConfig targeted = plain;
+    // --- Phase B: targeted and bigram sampling, each calibrated to
+    // the plain run's overall frequency; the two chains run
+    // concurrently.
+    ScenarioConfig targeted = base;
     targeted.sampler = SamplerKind::TransitionSignal;
     targeted.triggers = triggers;
     targeted.minGapUs = 2.0;
-    auto tr = runScenario(targeted);
-    for (int iter = 0; iter < 4; ++iter) {
-        const double ratio =
-            static_cast<double>(tr.samplerStats.totalSamples()) /
-            static_cast<double>(pr.samplerStats.totalSamples());
-        if (ratio > 0.92 && ratio < 1.09)
-            break;
-        targeted.minGapUs = std::max(0.25, targeted.minGapUs * ratio);
-        tr = runScenario(targeted);
-    }
+    targeted.backupUs = 80.0;
+
+    ScenarioConfig bigram_cfg = base;
+    bigram_cfg.sampler = SamplerKind::BigramTransitionSignal;
+    bigram_cfg.bigramTriggers = bigrams;
+    bigram_cfg.minGapUs = 2.0;
+    bigram_cfg.backupUs = 80.0;
+
+    const std::uint64_t plain_samples =
+        pr.samplerStats.totalSamples();
+    const auto phase_b_results = runner.run(
+        {calibrationJob("var=targeted", targeted, plain_samples),
+         calibrationJob("var=bigram", bigram_cfg, plain_samples)});
+    const auto &tr = resultFor(phase_b_results, "var=targeted");
+    const auto &br = resultFor(phase_b_results, "var=bigram");
 
     const double cov_plain = periodsCov(pr.records, core::Metric::Cpi);
     const double cov_targeted =
@@ -136,48 +191,13 @@ main(int argc, char **argv)
 
     // --- Part 3: the paper's suggested-but-uninvestigated bigram
     // signals ("a sequence of two or more recent system call
-    // names"). Train bigram triggers and compare against the
-    // unigram-targeted sampler at matched frequency.
-    std::vector<core::BigramTransitionSignalSampler::Bigram> bigrams;
-    {
-        ScenarioConfig cfg;
-        cfg.app = wl::App::WebServer;
-        cfg.seed = seed;
-        cfg.requests = requests;
-        cfg.warmup = requests / 10;
-        cfg.sampler = SamplerKind::Syscall;
-        cfg.minGapUs = 1.0;
-        cfg.backupUs = 50.0;
-        std::unique_ptr<core::BigramTransitionTrainer> trainer;
-        cfg.onSamplerReady = [&](os::Kernel &k, core::Sampler &s) {
-            trainer =
-                std::make_unique<core::BigramTransitionTrainer>(k, s);
-        };
-        (void)runScenario(cfg);
-        bigrams = trainer->selectTriggers(6, 50);
-
-        std::cout << "\ntop bigram signals:";
-        for (const auto &[p, c] : bigrams)
-            std::cout << " (" << os::sysName(p) << ","
-                      << os::sysName(c) << ")";
-        std::cout << "\n";
-    }
-
-    ScenarioConfig bigram_cfg = plain;
-    bigram_cfg.sampler = SamplerKind::BigramTransitionSignal;
-    bigram_cfg.bigramTriggers = bigrams;
-    bigram_cfg.minGapUs = 2.0;
-    auto br = runScenario(bigram_cfg);
-    for (int iter = 0; iter < 4; ++iter) {
-        const double ratio =
-            static_cast<double>(br.samplerStats.totalSamples()) /
-            static_cast<double>(pr.samplerStats.totalSamples());
-        if (ratio > 0.92 && ratio < 1.09)
-            break;
-        bigram_cfg.minGapUs =
-            std::max(0.25, bigram_cfg.minGapUs * ratio);
-        br = runScenario(bigram_cfg);
-    }
+    // names"), compared against the unigram-targeted sampler at
+    // matched frequency.
+    std::cout << "\ntop bigram signals:";
+    for (const auto &[p, c2] : bigrams)
+        std::cout << " (" << os::sysName(p) << "," << os::sysName(c2)
+                  << ")";
+    std::cout << "\n";
 
     stats::Table c3({"sampling", "samples", "captured CoV (CPI)"});
     c3.addRow({"unigram transition signals",

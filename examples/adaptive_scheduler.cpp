@@ -14,6 +14,7 @@
 #include "core/sched/contention.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -23,11 +24,14 @@ using namespace rbv;
 int
 main(int argc, char **argv)
 {
-    const exp::Cli cli(argc, argv);
+    const exp::Cli cli(argc, argv,
+                       {"app", "requests", "seed", "jobs", "quiet"});
     const auto app = wl::appFromName(cli.getStr("app", "tpch"));
     const auto requests =
         static_cast<std::size_t>(cli.getInt("requests", 200));
     const std::uint64_t seed = cli.getU64("seed", 5);
+
+    const exp::ParallelRunner runner(exp::runnerOptions(cli));
 
     // --- Step 1: calibrate the 80-percentile threshold -------------
     double threshold;
@@ -38,40 +42,44 @@ main(int argc, char **argv)
         cal.requests = requests / 2;
         cal.warmup = cal.requests / 10;
         cal.concurrency = 12;
-        const auto res = exp::runScenario(cal);
+        const auto res =
+            runner.run(exp::ScenarioGrid(cal).jobs()).front().result;
         threshold = exp::missesPerInsQuantile(res.records, 0.80);
         std::cout << "calibrated high-usage threshold: "
                   << stats::Table::fmt(threshold * 1e3, 3)
                   << "e-3 L2 misses/instruction\n\n";
     }
 
-    // --- Step 2: run both schedulers --------------------------------
-    auto run = [&](bool easing) {
-        exp::ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.seed = seed;
-        cfg.requests = requests;
-        cfg.warmup = requests / 10;
-        cfg.concurrency = 12;
-        cfg.monitorThreshold = threshold;
-        if (easing) {
-            core::ContentionConfig cc;
-            cc.highThreshold = 0.7 * threshold;
-            auto policy =
-                std::make_shared<core::ContentionEasingPolicy>(cc);
-            cfg.policy = policy;
-            // The policy's per-thread vaEWMA predictions feed off
-            // the sampler's periods.
-            cfg.onSamplerReady = [policy](os::Kernel &k,
-                                          core::Sampler &s) {
-                policy->attachSampler(k, s);
-            };
-        }
-        return exp::runScenario(cfg);
-    };
+    // --- Step 2: run both schedulers concurrently -------------------
+    exp::ScenarioConfig cfg;
+    cfg.app = app;
+    cfg.seed = seed;
+    cfg.requests = requests;
+    cfg.warmup = requests / 10;
+    cfg.concurrency = 12;
+    cfg.monitorThreshold = threshold;
 
-    const auto base = run(false);
-    const auto eased = run(true);
+    exp::ScenarioGrid grid(cfg);
+    grid.variants(
+        {{"round-robin", nullptr},
+         {"easing", [threshold](exp::ScenarioConfig &c) {
+              core::ContentionConfig cc;
+              cc.highThreshold = 0.7 * threshold;
+              // Fresh policy per job: the easing run owns it alone.
+              auto policy =
+                  std::make_shared<core::ContentionEasingPolicy>(cc);
+              c.policy = policy;
+              // The policy's per-thread vaEWMA predictions feed off
+              // the sampler's periods.
+              c.onSamplerReady = [policy](os::Kernel &k,
+                                          core::Sampler &s) {
+                  policy->attachSampler(k, s);
+              };
+          }}});
+    const auto results = runner.run(grid.jobs());
+    const auto &base =
+        exp::resultFor(results, "var=round-robin");
+    const auto &eased = exp::resultFor(results, "var=easing");
 
     // --- Step 3: compare -------------------------------------------
     stats::Table t({"metric", "round-robin", "contention easing"});

@@ -15,6 +15,7 @@
 #include "core/model/distance.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
 
@@ -23,7 +24,8 @@ using namespace rbv;
 int
 main(int argc, char **argv)
 {
-    const exp::Cli cli(argc, argv);
+    const exp::Cli cli(argc, argv,
+                       {"app", "requests", "seed", "jobs", "quiet"});
 
     exp::ScenarioConfig cfg;
     cfg.app = wl::appFromName(cli.getStr("app", "tpch"));
@@ -31,7 +33,9 @@ main(int argc, char **argv)
         static_cast<std::size_t>(cli.getInt("requests", 150));
     cfg.warmup = cfg.requests / 10;
     cfg.seed = cli.getU64("seed", 3);
-    const auto res = exp::runScenario(cfg);
+    const auto results = exp::ParallelRunner(exp::runnerOptions(cli))
+                             .run(exp::ScenarioGrid(cfg).jobs());
+    const auto &res = results.front().result;
 
     // Group requests by class (same application-level semantics and
     // instruction stream, e.g. the same SQL query).

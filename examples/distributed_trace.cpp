@@ -136,7 +136,7 @@ struct DbLogic : os::ThreadLogic
 int
 main(int argc, char **argv)
 {
-    const exp::Cli cli(argc, argv);
+    const exp::Cli cli(argc, argv, {"requests", "seed"});
     const int requests = static_cast<int>(cli.getInt("requests", 40));
     const std::uint64_t seed = cli.getU64("seed", 1);
 

@@ -23,7 +23,7 @@ using namespace rbv;
 int
 main(int argc, char **argv)
 {
-    const exp::Cli cli(argc, argv);
+    const exp::Cli cli(argc, argv, {"app", "requests", "seed"});
 
     exp::ScenarioConfig cfg;
     cfg.app = wl::appFromName(cli.getStr("app", "rubis"));

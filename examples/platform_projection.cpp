@@ -13,6 +13,7 @@
 
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -41,25 +42,33 @@ classCpis(const std::vector<exp::RequestRecord> &records)
 int
 main(int argc, char **argv)
 {
-    const exp::Cli cli(argc, argv);
+    const exp::Cli cli(argc, argv,
+                       {"app", "requests", "seed", "jobs", "quiet"});
     const auto app = wl::appFromName(cli.getStr("app", "tpch"));
     const auto requests =
         static_cast<std::size_t>(cli.getInt("requests", 120));
 
     // The candidate platforms: the paper's Woodcrest (4 MiB shared
     // L2 per socket), a cheap part (2 MiB), and a successor (8 MiB).
-    const double parts[] = {2.0, 4.0, 8.0};
+    const std::vector<double> parts = {2.0, 4.0, 8.0};
+
+    exp::ScenarioConfig base;
+    base.app = app;
+    base.requests = requests;
+    base.warmup = requests / 10;
+    base.seed = cli.getU64("seed", 11);
+    exp::ScenarioGrid grid(base);
+    grid.sweep("l2", parts, [](exp::ScenarioConfig &c, double l2) {
+        c.l2CapacityMiB = l2;
+    });
+    const auto results = exp::ParallelRunner(exp::runnerOptions(cli))
+                             .run(grid.jobs());
 
     std::map<std::string, std::map<double, double>> projection;
     std::map<double, double> overall;
-    for (double l2 : parts) {
-        exp::ScenarioConfig cfg;
-        cfg.app = app;
-        cfg.l2CapacityMiB = l2;
-        cfg.requests = requests;
-        cfg.warmup = requests / 10;
-        cfg.seed = cli.getU64("seed", 11);
-        const auto res = exp::runScenario(cfg);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        const double l2 = parts[i];
+        const auto &res = results[i].result;
         for (const auto &[name, cpi] : classCpis(res.records))
             projection[name][l2] = cpi;
         overall[l2] =

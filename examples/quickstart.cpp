@@ -22,7 +22,7 @@ using namespace rbv;
 int
 main(int argc, char **argv)
 {
-    const exp::Cli cli(argc, argv);
+    const exp::Cli cli(argc, argv, {"app", "requests", "seed"});
 
     // 1. Configure a scenario: which application, how many cores,
     //    how many requests, and which sampler. Everything else

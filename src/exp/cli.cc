@@ -5,7 +5,9 @@
 
 #include "exp/cli.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <iostream>
 
 namespace rbv::exp {
 
@@ -28,6 +30,34 @@ Cli::Cli(int argc, char **argv)
             flags[arg] = "";
         }
     }
+}
+
+Cli::Cli(int argc, char **argv,
+         std::initializer_list<const char *> known)
+    : Cli(argc, argv)
+{
+    std::vector<std::string> names(known.begin(), known.end());
+    const auto bad = unknown(names);
+    if (bad.empty())
+        return;
+    std::cerr << argv[0] << ": unknown flag --" << bad.front()
+              << "\naccepted flags:";
+    std::sort(names.begin(), names.end());
+    for (const auto &name : names)
+        std::cerr << " --" << name;
+    std::cerr << "\n";
+    std::exit(2);
+}
+
+std::vector<std::string>
+Cli::unknown(const std::vector<std::string> &known) const
+{
+    std::vector<std::string> bad;
+    for (const auto &[name, value] : flags) {
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            bad.push_back(name);
+    }
+    return bad;
 }
 
 bool
@@ -68,6 +98,21 @@ Cli::getU64(const std::string &name, std::uint64_t def) const
     return it != flags.end() && !it->second.empty()
                ? std::strtoull(it->second.c_str(), nullptr, 10)
                : def;
+}
+
+bool
+Cli::getBool(const std::string &name, bool def) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return def;
+    const std::string &v = it->second;
+    if (v.empty() || v == "1" || v == "true" || v == "yes" ||
+        v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    return def;
 }
 
 } // namespace rbv::exp

@@ -2,17 +2,24 @@
  * @file
  * Minimal command-line flag parsing for the bench/example binaries.
  *
- * Flags are "--name value" or "--name" (boolean). Every bench accepts
- * at least --seed and --requests so experiments are reproducible and
- * scalable.
+ * Flags are "--name value", "--name=value", or "--name" (boolean).
+ * Every bench accepts at least --seed and --requests so experiments
+ * are reproducible and scalable, plus the engine flags --jobs and
+ * --quiet.
+ *
+ * Binaries construct Cli with their accepted flag names; an unknown
+ * flag (e.g. the typo "--request") aborts with a clear error instead
+ * of being silently ignored.
  */
 
 #ifndef RBV_EXP_CLI_HH
 #define RBV_EXP_CLI_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace rbv::exp {
 
@@ -20,7 +27,16 @@ namespace rbv::exp {
 class Cli
 {
   public:
+    /** Parse without validation (tests, fully dynamic consumers). */
     Cli(int argc, char **argv);
+
+    /**
+     * Parse and validate: any flag outside @p known prints an error
+     * naming the offender and the accepted flags, then exits with
+     * status 2.
+     */
+    Cli(int argc, char **argv,
+        std::initializer_list<const char *> known);
 
     bool has(const std::string &name) const;
 
@@ -30,6 +46,16 @@ class Cli
     double getDouble(const std::string &name, double def) const;
     std::uint64_t getU64(const std::string &name,
                          std::uint64_t def) const;
+
+    /**
+     * Boolean accessor: a bare "--flag" (or =1/true/yes/on) is true,
+     * =0/false/no/off is false, absent is @p def.
+     */
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Parsed flag names not present in @p known. */
+    std::vector<std::string>
+    unknown(const std::vector<std::string> &known) const;
 
   private:
     std::map<std::string, std::string> flags;

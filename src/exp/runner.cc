@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Parallel experiment engine implementation.
+ */
+
+#include "exp/runner.hh"
+
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/cli.hh"
+
+namespace rbv::exp {
+
+namespace {
+
+/** Trim trailing zeros from a sweep value ("2.5", "100"). */
+std::string
+fmtSweepValue(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+// ------------------------------------------------------ ScenarioGrid
+
+ScenarioGrid::ScenarioGrid(ScenarioConfig base) : base(std::move(base))
+{
+}
+
+ScenarioGrid &
+ScenarioGrid::axis(std::vector<Level> levels)
+{
+    axes.push_back(std::move(levels));
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::apps(const std::vector<wl::App> &apps)
+{
+    std::vector<Level> levels;
+    for (wl::App app : apps) {
+        levels.push_back({"app=" + wl::appShortName(app),
+                          [app](ScenarioConfig &c) { c.app = app; }});
+    }
+    return axis(std::move(levels));
+}
+
+ScenarioGrid &
+ScenarioGrid::replicates(int n, std::uint64_t stride)
+{
+    std::vector<Level> levels;
+    for (int i = 0; i < n; ++i) {
+        const auto offset = static_cast<std::uint64_t>(i) * stride;
+        levels.push_back({"rep=" + std::to_string(i),
+                          [offset](ScenarioConfig &c) {
+                              c.seed += offset;
+                          }});
+    }
+    return axis(std::move(levels));
+}
+
+ScenarioGrid &
+ScenarioGrid::variants(std::vector<std::pair<std::string, Mutator>> vs)
+{
+    std::vector<Level> levels;
+    for (auto &[name, apply] : vs)
+        levels.push_back({"var=" + name, std::move(apply)});
+    return axis(std::move(levels));
+}
+
+ScenarioGrid &
+ScenarioGrid::sweep(const std::string &name,
+                    const std::vector<double> &values,
+                    std::function<void(ScenarioConfig &, double)> apply)
+{
+    std::vector<Level> levels;
+    for (double v : values) {
+        levels.push_back({name + "=" + fmtSweepValue(v),
+                          [apply, v](ScenarioConfig &c) {
+                              apply(c, v);
+                          }});
+    }
+    return axis(std::move(levels));
+}
+
+ScenarioGrid &
+ScenarioGrid::finalize(Mutator fn)
+{
+    finalizers.push_back(std::move(fn));
+    return *this;
+}
+
+std::vector<Job>
+ScenarioGrid::jobs() const
+{
+    // Cartesian product, first-declared axis outermost. Each leaf
+    // job's config is built from the base by applying its full level
+    // chain afresh — never by copying a partially mutated config —
+    // so resources a mutator allocates (scheduler policies, sampler
+    // hooks) are private to exactly one job. Sharing them across
+    // jobs would race once the runner goes parallel.
+    std::vector<std::vector<std::size_t>> combos;
+    combos.emplace_back();
+    for (const auto &levels : axes) {
+        std::vector<std::vector<std::size_t>> next;
+        next.reserve(combos.size() * levels.size());
+        for (const auto &partial : combos) {
+            for (std::size_t li = 0; li < levels.size(); ++li) {
+                next.push_back(partial);
+                next.back().push_back(li);
+            }
+        }
+        combos = std::move(next);
+    }
+
+    std::vector<Job> out;
+    out.reserve(combos.size());
+    for (const auto &combo : combos) {
+        Job job;
+        job.config = base;
+        for (std::size_t ai = 0; ai < combo.size(); ++ai) {
+            const Level &level = axes[ai][combo[ai]];
+            if (!job.key.empty())
+                job.key += '/';
+            job.key += level.segment;
+            if (level.apply)
+                level.apply(job.config);
+        }
+        if (job.key.empty())
+            job.key = "run";
+        for (const auto &fn : finalizers)
+            fn(job.config);
+        out.push_back(std::move(job));
+    }
+    return out;
+}
+
+// ---------------------------------------------------- ParallelRunner
+
+RunnerOptions
+runnerOptions(const Cli &cli)
+{
+    RunnerOptions opts;
+    opts.jobs = static_cast<int>(cli.getInt("jobs", 0));
+    opts.progress = !cli.getBool("quiet", false);
+    return opts;
+}
+
+ParallelRunner::ParallelRunner(RunnerOptions opts) : opts(opts) {}
+
+int
+ParallelRunner::threadsFor(std::size_t n) const
+{
+    int threads = opts.jobs > 0
+                      ? opts.jobs
+                      : static_cast<int>(
+                            std::thread::hardware_concurrency());
+    if (threads < 1)
+        threads = 1;
+    if (static_cast<std::size_t>(threads) > n)
+        threads = static_cast<int>(n);
+    return threads;
+}
+
+void
+ParallelRunner::dispatch(
+    std::size_t n, const std::function<void(std::size_t)> &work) const
+{
+    if (n == 0)
+        return;
+    const int threads = threadsFor(n);
+    if (threads == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            work(i);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            work(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads) - 1);
+    for (int t = 1; t < threads; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &th : pool)
+        th.join();
+}
+
+std::vector<JobResult>
+ParallelRunner::run(const std::vector<Job> &jobs) const
+{
+    std::ostream &log = opts.log ? *opts.log : std::cerr;
+    if (opts.progress && jobs.size() > 1) {
+        log << "engine: " << jobs.size() << " jobs on "
+            << threadsFor(jobs.size()) << " thread(s)\n";
+    }
+
+    std::vector<JobResult> results(jobs.size());
+    std::atomic<std::size_t> done{0};
+    std::mutex log_mutex;
+
+    dispatch(jobs.size(), [&](std::size_t i) {
+        const Job &job = jobs[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        JobResult &slot = results[i];
+        slot.key = job.key;
+        slot.result = job.body ? job.body(job.config)
+                               : runScenario(job.config);
+        slot.seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        const std::size_t finished =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (opts.progress) {
+            std::lock_guard<std::mutex> lock(log_mutex);
+            log << "[" << finished << "/" << jobs.size() << "] "
+                << job.key << "  "
+                << static_cast<int>(slot.seconds * 100.0) / 100.0
+                << "s\n";
+        }
+    });
+    return results;
+}
+
+const ScenarioResult &
+resultFor(const std::vector<JobResult> &results, const std::string &key)
+{
+    for (const auto &r : results)
+        if (r.key == key)
+            return r.result;
+    throw std::out_of_range("no job result with key " + key);
+}
+
+} // namespace rbv::exp

@@ -114,9 +114,7 @@ ScenarioResult
 runScenario(const ScenarioConfig &cfg)
 {
     auto gen = wl::makeGenerator(cfg.app);
-    const double period_us = cfg.samplingPeriodUs > 0.0
-                                 ? cfg.samplingPeriodUs
-                                 : gen->defaultSamplingPeriodUs();
+    const double period_us = effectivePeriodUs(cfg);
 
     // --- Machine & kernel ---
     sim::EventQueue eq;

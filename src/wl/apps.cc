@@ -37,6 +37,19 @@ appDisplayName(App app)
     return "?";
 }
 
+std::string
+appShortName(App app)
+{
+    switch (app) {
+      case App::WebServer: return "webserver";
+      case App::Tpcc: return "tpcc";
+      case App::Tpch: return "tpch";
+      case App::Rubis: return "rubis";
+      case App::WebWork: return "webwork";
+    }
+    return "?";
+}
+
 App
 appFromName(const std::string &name)
 {

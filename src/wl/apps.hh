@@ -33,6 +33,12 @@ std::string appDisplayName(App app);
 /** Parse an application name ("webserver", "tpcc", ...). */
 App appFromName(const std::string &name);
 
+/**
+ * Canonical short name ("webserver", "tpcc", ...): the inverse of
+ * appFromName, used for stable experiment job keys.
+ */
+std::string appShortName(App app);
+
 /** Construct the generator of an application. */
 std::unique_ptr<Generator> makeGenerator(App app);
 

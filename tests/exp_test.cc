@@ -74,6 +74,31 @@ TEST(Cli, BooleanFollowedByFlag)
     EXPECT_EQ(cli.getInt("n", 0), 3);
 }
 
+TEST(Cli, GetBoolForms)
+{
+    const char *argv[] = {"prog", "--bare",     "--on=true",
+                          "--off", "no",        "--zero=0",
+                          "--one", "1"};
+    Cli cli(8, const_cast<char **>(argv));
+    EXPECT_TRUE(cli.getBool("bare", false));
+    EXPECT_TRUE(cli.getBool("on", false));
+    EXPECT_FALSE(cli.getBool("off", true));
+    EXPECT_FALSE(cli.getBool("zero", true));
+    EXPECT_TRUE(cli.getBool("one", false));
+    EXPECT_TRUE(cli.getBool("absent", true));
+    EXPECT_FALSE(cli.getBool("absent", false));
+}
+
+TEST(Cli, ReportsUnknownFlags)
+{
+    const char *argv[] = {"prog", "--seed", "1", "--typo", "5"};
+    Cli cli(5, const_cast<char **>(argv));
+    const auto bad = cli.unknown({"seed", "requests"});
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0], "typo");
+    EXPECT_TRUE(cli.unknown({"seed", "typo"}).empty());
+}
+
 // -------------------------------------------------------- overall/CoV
 
 TEST(Analysis, OverallMetricIsRatioOfTotals)
