@@ -114,7 +114,7 @@ main(int argc, char **argv)
 
     for (wl::App app : apps) {
         std::map<std::string, ReplicateSummary> agg;
-        for (const std::string &var : {"original", "easing"}) {
+        for (const std::string var : {"original", "easing"}) {
             for (int r = 0; r < runs; ++r) {
                 const auto &res = resultFor(
                     results, "app=" + wl::appShortName(app) +

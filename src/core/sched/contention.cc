@@ -121,8 +121,8 @@ ContentionStats::fractionAtLeast(std::size_t k) const
 
 ContentionMonitor::ContentionMonitor(os::Kernel &kernel,
                                      double threshold,
-                                     sim::Tick interval)
-    : kernel(kernel), threshold(threshold), interval(interval)
+                                     sim::Tick intervalCycles)
+    : kernel(kernel), threshold(threshold), intervalCycles(intervalCycles)
 {
     cstats.cyclesAtHighCount.assign(
         static_cast<std::size_t>(kernel.machine().numCores()) + 1, 0.0);
@@ -131,7 +131,7 @@ ContentionMonitor::ContentionMonitor(os::Kernel &kernel,
 void
 ContentionMonitor::start()
 {
-    kernel.eventQueue().scheduleIn(interval, [this] { tick(); });
+    kernel.eventQueue().scheduleIn(intervalCycles, [this] { tick(); });
 }
 
 void
@@ -145,8 +145,8 @@ ContentionMonitor::tick()
             machine.currentMissesPerIns(c) > threshold)
             ++high;
     }
-    cstats.cyclesAtHighCount[high] += static_cast<double>(interval);
-    kernel.eventQueue().scheduleIn(interval, [this] { tick(); });
+    cstats.cyclesAtHighCount[high] += static_cast<double>(intervalCycles);
+    kernel.eventQueue().scheduleIn(intervalCycles, [this] { tick(); });
 }
 
 } // namespace rbv::core

@@ -149,10 +149,10 @@ class ContentionMonitor
     /**
      * @param kernel     Kernel whose machine to observe.
      * @param threshold  High-usage threshold (misses/instruction).
-     * @param interval   Sampling interval in cycles.
+     * @param intervalCycles   Sampling interval in cycles.
      */
     ContentionMonitor(os::Kernel &kernel, double threshold,
-                      sim::Tick interval = sim::usToCycles(100.0));
+                      sim::Tick intervalCycles = sim::usToCycles(100.0));
 
     /** Begin monitoring (call after Kernel::start()). */
     void start();
@@ -164,7 +164,7 @@ class ContentionMonitor
 
     os::Kernel &kernel;
     double threshold;
-    sim::Tick interval;
+    sim::Tick intervalCycles;
     ContentionStats cstats;
 };
 

@@ -5,7 +5,7 @@
 
 #include "os/kernel.hh"
 
-#include <cassert>
+#include "core/check.hh"
 
 namespace rbv::os {
 
@@ -59,7 +59,7 @@ Kernel::addHooks(KernelHooks *h)
 void
 Kernel::start()
 {
-    assert(!started);
+    RBV_CHECK(!started, "Kernel::start() called twice");
     started = true;
 
     // Spread threads over the runqueues round-robin.
@@ -102,6 +102,9 @@ Kernel::post(ChannelId ch, Message msg)
 void
 Kernel::completeRequest(RequestId id)
 {
+    RBV_CHECK(id != InvalidRequestId &&
+                  static_cast<std::size_t>(id) < reqs.size(),
+              "completing unknown request " << id);
     RequestInfo &info = reqs[id];
     if (info.done)
         return;
@@ -111,9 +114,15 @@ Kernel::completeRequest(RequestId id)
     for (sim::CoreId c = 0; c < mach.numCores(); ++c)
         if (coreSched[c].request == id)
             attribute(c);
+    // Completion time can never precede injection, and the completed
+    // count can never pass the registered count.
+    RBV_CHECK(now() >= info.injected,
+              "request " << id << " completed at " << now()
+                         << " before injection at " << info.injected);
     info.done = true;
     info.completed = now();
     ++numCompleted;
+    RBV_CHECK(numCompleted <= reqs.size());
     for (auto *h : hooks)
         h->onRequestComplete(info);
 }
@@ -166,6 +175,12 @@ Kernel::attribute(sim::CoreId core)
     CoreSched &cs = coreSched[core];
     const auto snap = mach.counters(core).snapshot();
     const auto delta = snap - cs.lastAttrib;
+    // Counters only count up; a negative delta means the attribution
+    // boundary bookkeeping regressed (tolerance covers fixed-work
+    // rounding residue).
+    RBV_DCHECK(delta.cycles >= -1e-6 && delta.instructions >= -1e-6 &&
+                   delta.l2Refs >= -1e-6 && delta.l2Misses >= -1e-6,
+               "counter delta regressed on core " << core);
     cs.lastAttrib = snap;
     if (cs.request == InvalidRequestId)
         return;
@@ -192,7 +207,9 @@ void
 Kernel::dispatch(sim::CoreId core)
 {
     CoreSched &cs = coreSched[core];
-    assert(cs.running == InvalidThreadId);
+    RBV_CHECK(cs.running == InvalidThreadId,
+              "dispatch on core " << core << " with thread "
+                                  << cs.running << " still running");
     if (cs.rq.empty()) {
         // Core idles; its request context ends here.
         setCoreRequest(core, InvalidRequestId);
@@ -212,9 +229,11 @@ void
 Kernel::switchIn(sim::CoreId core, ThreadId tid)
 {
     CoreSched &cs = coreSched[core];
-    assert(cs.running == InvalidThreadId);
+    RBV_CHECK(cs.running == InvalidThreadId,
+              "switchIn on busy core " << core);
     Thread &t = thr(tid);
-    assert(t.state == ThreadState::Runnable);
+    RBV_CHECK(t.state == ThreadState::Runnable,
+              "switchIn of non-runnable thread " << tid);
 
     // Attribution boundary: sample hooks observe the outgoing request
     // before the switch cost is charged (Sec. 3.1).
@@ -257,7 +276,8 @@ Kernel::switchOut(sim::CoreId core, ThreadState next_state)
 {
     CoreSched &cs = coreSched[core];
     const ThreadId tid = cs.running;
-    assert(tid != InvalidThreadId);
+    RBV_CHECK(tid != InvalidThreadId,
+              "switchOut on idle core " << core);
     Thread &t = thr(tid);
 
     // Capture the partially executed segment, if any.
@@ -513,9 +533,8 @@ Kernel::onWorkComplete(sim::CoreId core)
 {
     CoreSched &cs = coreSched[core];
     const ThreadId tid = cs.running;
-    assert(tid != InvalidThreadId && "work completed on an idle core");
-    if (tid == InvalidThreadId)
-        return; // stray completion: no thread is bound to this core
+    RBV_CHECK(tid != InvalidThreadId, "work completed on idle core "
+                                          << core);
     thr(tid).hasWork = false;
     runThread(core, tid);
 }

@@ -5,7 +5,7 @@
 
 #include "sim/cache.hh"
 
-#include <cassert>
+#include "core/check.hh"
 
 namespace rbv::sim {
 
@@ -13,7 +13,10 @@ std::vector<double>
 waterFillTargets(double capacity, const std::vector<double> &weights,
                  const std::vector<double> &working_sets)
 {
-    assert(weights.size() == working_sets.size());
+    RBV_CHECK(weights.size() == working_sets.size(),
+              "water-fill arity mismatch: " << weights.size()
+                  << " weights vs " << working_sets.size()
+                  << " working sets");
     const std::size_t n = weights.size();
     std::vector<double> targets(n, 0.0);
     if (n == 0 || capacity <= 0.0)
@@ -71,6 +74,13 @@ waterFillTargets(double capacity, const std::vector<double> &weights,
         remaining = std::max(remaining, 0.0);
     }
 
+    // Water-filling must never hand out more than the domain holds.
+    double total = 0.0;
+    for (double t : targets)
+        total += t;
+    RBV_DCHECK(total <= capacity * (1.0 + 1e-9),
+               "water-fill over-allocated " << total << " of "
+                                            << capacity << " bytes");
     return targets;
 }
 

@@ -15,6 +15,8 @@
 #include <array>
 #include <cstdint>
 
+#include "core/check.hh"
+
 namespace rbv::sim {
 
 /** Hardware events selectable on the general-purpose counters. */
@@ -95,6 +97,18 @@ class PerfCounters
     accrue(double cycles, double instructions, double l2_refs,
            double l2_misses)
     {
+        // Hardware counters only count up: a negative accrual would
+        // make a snapshot delta regress, silently corrupting every
+        // sampled timeline downstream. The tolerance absorbs the
+        // sub-event rounding residue of proportional fixed-work
+        // draining.
+        constexpr double tol = -1e-6;
+        RBV_DCHECK(cycles >= tol && instructions >= tol &&
+                       l2_refs >= tol && l2_misses >= tol,
+                   "counter accrual regressed: cycles="
+                       << cycles << " ins=" << instructions
+                       << " refs=" << l2_refs << " misses="
+                       << l2_misses);
         totals.cycles += cycles;
         totals.instructions += instructions;
         totals.l2Refs += l2_refs;

@@ -5,15 +5,18 @@
 
 #include "sim/event_queue.hh"
 
-#include <cassert>
 #include <utility>
+
+#include "core/check.hh"
 
 namespace rbv::sim {
 
 EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
-    assert(when >= curTick && "cannot schedule into the past");
+    RBV_CHECK(when >= curTick,
+              "event scheduled into the past: when=" << when
+                  << " now=" << curTick);
     const EventId id = nextId++;
     heap.push(Entry{when, nextSeq++, id});
     pending.emplace(id, std::move(cb));
@@ -47,7 +50,9 @@ EventQueue::runOne()
             continue; // lazily cancelled
         Callback cb = std::move(it->second);
         pending.erase(it);
-        assert(top.when >= curTick);
+        RBV_CHECK(top.when >= curTick,
+                  "event time regressed: firing at " << top.when
+                      << " with now=" << curTick);
         curTick = top.when;
         ++fired;
         cb();
@@ -59,6 +64,9 @@ EventQueue::runOne()
 void
 EventQueue::runUntil(Tick limit)
 {
+    RBV_CHECK(limit >= curTick,
+              "runUntil limit " << limit << " is before now="
+                                << curTick);
     stopRequested = false;
     while (!stopRequested) {
         // Skip over cancelled heap tops to find the true next event.

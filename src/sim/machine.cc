@@ -5,8 +5,9 @@
 
 #include "sim/machine.hh"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hh"
 
 namespace rbv::sim {
 
@@ -29,14 +30,15 @@ Machine::Machine(const MachineConfig &cfg, EventQueue &eq,
       memory(cfg.memory), memLatency(cfg.memory.baseLatencyCycles),
       lastSync(eq.now())
 {
-    assert(cfg.numCores > 0);
-    assert(cfg.coresPerL2Domain > 0);
+    RBV_CHECK(cfg.numCores > 0);
+    RBV_CHECK(cfg.coresPerL2Domain > 0);
+    RBV_CHECK(cfg.l2CapacityBytes > 0.0);
     const int domains =
         (cfg.numCores + cfg.coresPerL2Domain - 1) / cfg.coresPerL2Domain;
     domainInsertion.assign(domains, 0.0);
 
-    if (cfg.modelRefreshInterval > 0) {
-        eq.scheduleIn(cfg.modelRefreshInterval, [this] {
+    if (cfg.modelRefreshIntervalCycles > 0) {
+        eq.scheduleIn(cfg.modelRefreshIntervalCycles, [this] {
             refreshFired();
         });
     }
@@ -105,6 +107,14 @@ Machine::advanceCore(CoreState &c, int domain, double dt)
         busyCycles += left;
     }
 
+    // The cache model must never report more resident bytes than the
+    // domain holds, and instruction debt can never go negative.
+    RBV_DCHECK(c.occupancy >= 0.0 &&
+                   c.occupancy <= cfg.l2CapacityBytes * (1.0 + 1e-9),
+               "occupancy " << c.occupancy << " outside [0, "
+                            << cfg.l2CapacityBytes << "]");
+    RBV_DCHECK(c.insRemaining >= 0.0);
+
     if (c.timerArmed) {
         c.timerRemaining -= busyCycles;
         if (c.timerRemaining < 0.0)
@@ -118,7 +128,9 @@ Machine::resync()
     const Tick now = eq.now();
     if (now == lastSync)
         return;
-    assert(now > lastSync);
+    RBV_CHECK(now > lastSync,
+              "resync would move time backwards: now="
+                  << now << " lastSync=" << lastSync);
     const double dt = static_cast<double>(now - lastSync);
     for (CoreId i = 0; i < cfg.numCores; ++i)
         advanceCore(cores[i], domainOf(i), dt);
@@ -321,14 +333,16 @@ Machine::refreshFired()
     resync();
     recomputeRates();
     scheduleBoundaries();
-    eq.scheduleIn(cfg.modelRefreshInterval, [this] { refreshFired(); });
+    eq.scheduleIn(cfg.modelRefreshIntervalCycles, [this] { refreshFired(); });
 }
 
 void
 Machine::setWork(CoreId core, const WorkParams &params,
                  double instructions)
 {
-    assert(params.baseCpi > 0.0);
+    RBV_CHECK(core >= 0 && core < cfg.numCores);
+    RBV_CHECK(params.baseCpi > 0.0,
+              "work with non-positive base CPI " << params.baseCpi);
     resync();
     auto &c = cores[core];
     c.busy = instructions > 0.0;
@@ -360,6 +374,10 @@ Machine::insRemaining(CoreId core)
 void
 Machine::pushFixedWork(CoreId core, const FixedWork &work)
 {
+    RBV_CHECK(core >= 0 && core < cfg.numCores);
+    RBV_DCHECK(work.cycles >= 0.0 && work.instructions >= 0.0 &&
+                   work.l2Refs >= 0.0 && work.l2Misses >= 0.0,
+               "negative fixed-work bundle");
     resync();
     if (work.cycles > 0.0)
         cores[core].fixedQueue.push_back(work);
@@ -380,6 +398,11 @@ Machine::occupancy(CoreId core)
 void
 Machine::setOccupancy(CoreId core, double bytes)
 {
+    RBV_CHECK(core >= 0 && core < cfg.numCores);
+    // Oversized restores are clamped to capacity (documented
+    // contract); only a nonsensical footprint is a caller bug.
+    RBV_CHECK(std::isfinite(bytes) && bytes >= 0.0,
+              "footprint " << bytes << " is not a byte count");
     resync();
     cores[core].occupancy =
         std::clamp(bytes, 0.0, cfg.l2CapacityBytes);

@@ -61,7 +61,7 @@ struct MachineConfig
      * Interval of the model refresh tick that bounds the error of the
      * piecewise-constant-rate approximation; 0 disables it.
      */
-    Tick modelRefreshInterval = usToCycles(50.0);
+    Tick modelRefreshIntervalCycles = usToCycles(50.0);
 };
 
 /** Description of regular (contention-subject) work. */

@@ -8,8 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.hh"
 #include "exp/analysis.hh"
 #include "exp/scenario.hh"
+#include "os/kernel.hh"
+#include "sim/cache.hh"
+#include "sim/counters.hh"
+#include "sim/event_queue.hh"
+#include "sim/machine.hh"
 #include "wl/mbench.hh"
 
 using namespace rbv;
@@ -192,6 +198,101 @@ INSTANTIATE_TEST_SUITE_P(Sweep, PeriodSweep,
                              return "us" + std::to_string(
                                                (int)info.param);
                          });
+
+// ---------------------------------------------------------------------
+// RBV_CHECK / RBV_DCHECK trip tests: each guarded invariant must
+// abort loudly (death test) when violated, and stay silent on the
+// legal path. These are the dynamic half of the rbvlint wall.
+// ---------------------------------------------------------------------
+
+TEST(CheckMacros, PassingChecksAreSilent)
+{
+    RBV_CHECK(2 + 2 == 4);
+    RBV_CHECK(true, "never evaluated " << 42);
+    RBV_DCHECK(1 < 2);
+    RBV_DCHECK(true, "also never evaluated");
+    SUCCEED();
+}
+
+using CheckTripDeath = ::testing::Test;
+
+TEST(CheckTripDeath, ScheduleIntoThePastAborts)
+{
+    sim::EventQueue eq;
+    eq.schedule(100, [] {});
+    ASSERT_TRUE(eq.runOne());
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_DEATH(eq.schedule(50, [] {}),
+                 "RBV_CHECK failed.*scheduled into the past");
+}
+
+TEST(CheckTripDeath, RunUntilBackwardsAborts)
+{
+    sim::EventQueue eq;
+    eq.schedule(100, [] {});
+    ASSERT_TRUE(eq.runOne());
+    EXPECT_DEATH(eq.runUntil(50), "RBV_CHECK failed");
+}
+
+TEST(CheckTripDeath, NegativeCounterAccrualAborts)
+{
+    sim::PerfCounters pc;
+    pc.accrue(1.0, 1.0, 0.0, 0.0); // legal
+    EXPECT_DEATH(pc.accrue(-1.0, 0.0, 0.0, 0.0),
+                 "RBV_DCHECK failed.*counter accrual regressed");
+}
+
+TEST(CheckTripDeath, NegativeFootprintAborts)
+{
+    sim::EventQueue eq;
+    sim::MachineConfig mc;
+    sim::Machine m(mc, eq);
+    m.setOccupancy(0, mc.l2CapacityBytes * 2.0); // clamped: legal
+    EXPECT_DOUBLE_EQ(m.occupancy(0), mc.l2CapacityBytes);
+    EXPECT_DEATH(m.setOccupancy(0, -1.0),
+                 "RBV_CHECK failed.*is not a byte count");
+}
+
+TEST(CheckTripDeath, InvalidCoreAndCpiAbort)
+{
+    sim::EventQueue eq;
+    sim::MachineConfig mc;
+    sim::Machine m(mc, eq);
+    sim::WorkParams wp;
+    EXPECT_DEATH(m.setWork(mc.numCores + 3, wp, 100.0),
+                 "RBV_CHECK failed");
+    wp.baseCpi = 0.0;
+    EXPECT_DEATH(m.setWork(0, wp, 100.0),
+                 "RBV_CHECK failed.*base CPI");
+}
+
+TEST(CheckTripDeath, WaterFillArityMismatchAborts)
+{
+    EXPECT_DEATH(
+        sim::waterFillTargets(1024.0, {1.0, 2.0}, {512.0}),
+        "RBV_CHECK failed.*arity mismatch");
+}
+
+TEST(CheckTripDeath, KernelDoubleStartAborts)
+{
+    sim::EventQueue eq;
+    sim::MachineConfig mc;
+    sim::Machine m(mc, eq);
+    os::Kernel k(m);
+    m.setClient(&k);
+    k.start();
+    EXPECT_DEATH(k.start(), "RBV_CHECK failed.*called twice");
+}
+
+TEST(CheckTripDeath, CompletingUnknownRequestAborts)
+{
+    sim::EventQueue eq;
+    sim::MachineConfig mc;
+    sim::Machine m(mc, eq);
+    os::Kernel k(m);
+    m.setClient(&k);
+    EXPECT_DEATH(k.completeRequest(7), "RBV_CHECK failed");
+}
 
 TEST(Invariant, ChannelFifoAcrossManyWaiters)
 {

@@ -62,7 +62,7 @@ struct Rig
         MachineConfig mc;
         mc.numCores = cores;
         mc.coresPerL2Domain = cores >= 2 ? 2 : 1;
-        mc.modelRefreshInterval = refresh;
+        mc.modelRefreshIntervalCycles = refresh;
         return mc;
     }
 };

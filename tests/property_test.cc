@@ -104,9 +104,15 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(4, 16, 64, 200),
                        ::testing::Values(0.0, 0.5, 2.0)),
     [](const auto &info) {
-        return "n" + std::to_string(std::get<0>(info.param)) + "_p" +
-               std::to_string(
-                   static_cast<int>(std::get<1>(info.param) * 10));
+        // Built with += rather than operator+ chains: GCC 12's
+        // -Wrestrict misfires on `const char* + std::string&&`
+        // (gcc bug 105329), which -Werror would turn fatal.
+        std::string name = "n";
+        name += std::to_string(std::get<0>(info.param));
+        name += "_p";
+        name += std::to_string(
+            static_cast<int>(std::get<1>(info.param) * 10));
+        return name;
     });
 
 // --------------------------------------------- contention sweeps

@@ -1,0 +1,18 @@
+// Fixture: inline escapes suppress matching violations only.
+#include <cstdint>
+
+namespace rbv::sim {
+
+// A cold-path diagnostic counter, reviewed and accepted.
+// rbvlint: allow(R2)
+static std::uint64_t gDiagCounter = 0;
+
+std::uint64_t
+bumpDiag()
+{
+    static std::uint64_t local = 0; // rbvlint: allow(global-state)
+    ++gDiagCounter;
+    return ++local;
+}
+
+} // namespace rbv::sim

@@ -1,0 +1,23 @@
+// Fixture: R1 violations — host entropy and clocks in src/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace rbv::wl {
+
+double
+noisyDelay()
+{
+    std::srand(42);
+    const int jitter = rand() % 7;
+    std::random_device rd;
+    std::mt19937 engine; // default seed, silently shared
+    const auto wall = std::chrono::system_clock::now();
+    const long stamp = time(nullptr);
+    return static_cast<double>(jitter + rd() + stamp) +
+           static_cast<double>(engine()) +
+           static_cast<double>(wall.time_since_epoch().count());
+}
+
+} // namespace rbv::wl

@@ -1,0 +1,15 @@
+// Fixture: deterministic randomness — everything seeded explicitly.
+#include <cstdint>
+#include <random>
+
+namespace rbv::wl {
+
+double
+seededDelay(std::uint64_t seed)
+{
+    std::mt19937_64 engine(seed); // explicit seed: fine
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine);
+}
+
+} // namespace rbv::wl

@@ -1,0 +1,35 @@
+// Fixture: R2-clean — constants and explicit state only.
+#include <cstdint>
+#include <vector>
+
+namespace rbv::sim {
+
+constexpr int MaxTags = 64;
+static const double DefaultGain = 0.5;
+
+struct TagPool
+{
+    std::vector<int> tags; // instance state: fine
+
+    static int
+    capacity()
+    {
+        return MaxTags;
+    }
+
+    int
+    next()
+    {
+        tags.push_back(static_cast<int>(tags.size()));
+        return tags.back();
+    }
+};
+
+double
+gain()
+{
+    static constexpr double bonus = 0.1; // constexpr static: fine
+    return DefaultGain + bonus;
+}
+
+} // namespace rbv::sim

@@ -1,0 +1,14 @@
+// Fixture: R3 violations — stray output in library code.
+#include <cstdio>
+#include <iostream>
+
+namespace rbv::core {
+
+void
+debugDump(double cpi)
+{
+    std::cout << "cpi=" << cpi << "\n";
+    printf("cpi=%f\n", cpi);
+}
+
+} // namespace rbv::core

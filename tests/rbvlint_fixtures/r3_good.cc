@@ -1,0 +1,12 @@
+// Fixture: R3-clean — diagnostics go to a caller-supplied stream.
+#include <ostream>
+
+namespace rbv::core {
+
+void
+describe(std::ostream &os, double cpi)
+{
+    os << "cpi=" << cpi << "\n"; // injected sink: fine
+}
+
+} // namespace rbv::core

@@ -1,0 +1,11 @@
+// Fixture: R4 violation — header without an include guard.
+#include <vector>
+
+namespace rbv::sim {
+
+struct Widget
+{
+    std::vector<int> parts;
+};
+
+} // namespace rbv::sim

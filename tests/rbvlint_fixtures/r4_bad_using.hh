@@ -1,0 +1,18 @@
+// Fixture: R4 violation — using namespace at header scope.
+#ifndef RBVLINT_FIXTURE_R4_BAD_USING_HH
+#define RBVLINT_FIXTURE_R4_BAD_USING_HH
+
+#include <string>
+
+using namespace std; // leaks into every includer
+
+namespace rbv::sim {
+
+struct Label
+{
+    string text;
+};
+
+} // namespace rbv::sim
+
+#endif // RBVLINT_FIXTURE_R4_BAD_USING_HH

@@ -1,0 +1,23 @@
+// Fixture: R4-clean — guarded, using-directives confined to bodies.
+#ifndef RBVLINT_FIXTURE_R4_GOOD_HH
+#define RBVLINT_FIXTURE_R4_GOOD_HH
+
+#include <string>
+
+namespace rbv::sim {
+
+struct Label
+{
+    std::string text;
+
+    std::size_t
+    width() const
+    {
+        using namespace std::string_literals; // function scope: fine
+        return text.size() + "!"s.size();
+    }
+};
+
+} // namespace rbv::sim
+
+#endif // RBVLINT_FIXTURE_R4_GOOD_HH

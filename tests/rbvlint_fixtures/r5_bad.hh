@@ -1,0 +1,18 @@
+// Fixture: R5 violations — unit-less integer duration/size fields.
+#ifndef RBVLINT_FIXTURE_R5_BAD_HH
+#define RBVLINT_FIXTURE_R5_BAD_HH
+
+#include <cstdint>
+
+namespace rbv::sim {
+
+struct FlushConfig
+{
+    std::uint64_t flushInterval = 0; // cycles? us? nobody knows
+    int replyTimeout = 250;
+    std::size_t bufferCapacity = 4096;
+};
+
+} // namespace rbv::sim
+
+#endif // RBVLINT_FIXTURE_R5_BAD_HH

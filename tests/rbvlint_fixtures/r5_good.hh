@@ -1,0 +1,20 @@
+// Fixture: R5-clean — units spelled out, non-integers untouched.
+#ifndef RBVLINT_FIXTURE_R5_GOOD_HH
+#define RBVLINT_FIXTURE_R5_GOOD_HH
+
+#include <cstdint>
+
+namespace rbv::sim {
+
+struct FlushConfig
+{
+    std::uint64_t flushIntervalCycles = 0;
+    int replyTimeoutUs = 250;
+    std::size_t bufferCapacityBytes = 4096;
+    double decayRatio = 0.5;  // not an integer: no suffix needed
+    int retries = 3;          // not a duration/size: fine
+};
+
+} // namespace rbv::sim
+
+#endif // RBVLINT_FIXTURE_R5_GOOD_HH

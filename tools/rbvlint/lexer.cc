@@ -1,0 +1,231 @@
+/**
+ * @file
+ * rbvlint token scanner implementation.
+ */
+
+#include "rbvlint/lexer.hh"
+
+#include <cctype>
+#include <cstddef>
+
+namespace rbvlint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return identStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+/**
+ * Extract allow pragmas from one comment's text. Accepted forms:
+ *   rbvlint: allow(R2)
+ *   rbvlint: allow(global-state, units)
+ */
+void
+parsePragmas(const std::string &comment, int line, bool standalone,
+             std::vector<AllowPragma> &out)
+{
+    const std::string tag = "rbvlint:";
+    std::size_t at = comment.find(tag);
+    if (at == std::string::npos)
+        return;
+    at = comment.find("allow", at + tag.size());
+    if (at == std::string::npos)
+        return;
+    const std::size_t open = comment.find('(', at);
+    if (open == std::string::npos)
+        return;
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos)
+        return;
+    std::string inside = comment.substr(open + 1, close - open - 1);
+    std::string cur;
+    auto flush = [&] {
+        if (!cur.empty()) {
+            out.push_back(AllowPragma{line, cur});
+            if (standalone)
+                out.push_back(AllowPragma{line + 1, cur});
+            cur.clear();
+        }
+    };
+    for (char c : inside) {
+        if (c == ',' || c == ' ' || c == '\t')
+            flush();
+        else
+            cur.push_back(c);
+    }
+    flush();
+}
+
+} // namespace
+
+LexResult
+lex(const std::string &text)
+{
+    LexResult res;
+
+    // Split raw lines first (rules that need layout, e.g. header
+    // guards, work off these).
+    {
+        std::string line;
+        for (char c : text) {
+            if (c == '\n') {
+                res.rawLines.push_back(line);
+                line.clear();
+            } else {
+                line.push_back(c);
+            }
+        }
+        if (!line.empty())
+            res.rawLines.push_back(line);
+    }
+
+    const std::size_t n = text.size();
+    std::size_t i = 0;
+    int line = 1;
+    // Tracks whether any token was emitted on the current line, so a
+    // comment can be recognized as standalone.
+    int lastTokenLine = 0;
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k) {
+            if (text[i] == '\n')
+                ++line;
+            ++i;
+        }
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        const char next = i + 1 < n ? text[i + 1] : '\0';
+
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' ||
+            c == '\f' || c == '\v') {
+            advance(1);
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && next == '/') {
+            const int at = line;
+            std::string body;
+            while (i < n && text[i] != '\n') {
+                body.push_back(text[i]);
+                ++i;
+            }
+            parsePragmas(body, at, lastTokenLine != at, res.allows);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && next == '*') {
+            const int at = line;
+            std::string body;
+            advance(2);
+            while (i < n && !(text[i] == '*' && i + 1 < n &&
+                              text[i + 1] == '/')) {
+                body.push_back(text[i]);
+                advance(1);
+            }
+            advance(2);
+            // A block comment is standalone when nothing preceded it
+            // on its first line and it closes at end of a line.
+            const bool standalone = lastTokenLine != at;
+            parsePragmas(body, at, standalone, res.allows);
+            continue;
+        }
+
+        // Preprocessor directive: consume to end of (continued) line
+        // but do not emit tokens; rules using directives read
+        // rawLines instead.
+        if (c == '#' &&
+            (res.tokens.empty() || res.tokens.back().line != line)) {
+            while (i < n && text[i] != '\n') {
+                if (text[i] == '\\' && i + 1 < n &&
+                    text[i + 1] == '\n')
+                    advance(1); // skip the continuation backslash
+                advance(1);
+            }
+            continue;
+        }
+
+        // String literal (handles escapes; raw strings are treated
+        // as plain strings, which is fine for linting purposes).
+        if (c == '"') {
+            const int at = line;
+            advance(1);
+            while (i < n && text[i] != '"') {
+                if (text[i] == '\\')
+                    advance(1);
+                advance(1);
+            }
+            advance(1);
+            res.tokens.push_back(Token{Tok::String, "", at});
+            lastTokenLine = at;
+            continue;
+        }
+
+        // Character literal. Distinguish from digit separators
+        // (1'000'000): a quote directly after a number token's digits
+        // is consumed by the number scanner below, so any quote here
+        // starts a real character literal.
+        if (c == '\'') {
+            const int at = line;
+            advance(1);
+            while (i < n && text[i] != '\'') {
+                if (text[i] == '\\')
+                    advance(1);
+                advance(1);
+            }
+            advance(1);
+            res.tokens.push_back(Token{Tok::CharLit, "", at});
+            lastTokenLine = at;
+            continue;
+        }
+
+        if (identStart(c)) {
+            const int at = line;
+            std::string word;
+            while (i < n && identCont(text[i])) {
+                word.push_back(text[i]);
+                ++i;
+            }
+            res.tokens.push_back(Token{Tok::Ident, word, at});
+            lastTokenLine = at;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            const int at = line;
+            std::string num;
+            while (i < n &&
+                   (identCont(text[i]) || text[i] == '\'' ||
+                    text[i] == '.' ||
+                    ((text[i] == '+' || text[i] == '-') && i > 0 &&
+                     (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                      text[i - 1] == 'p' || text[i - 1] == 'P')))) {
+                num.push_back(text[i]);
+                ++i;
+            }
+            res.tokens.push_back(Token{Tok::Number, num, at});
+            lastTokenLine = at;
+            continue;
+        }
+
+        res.tokens.push_back(Token{Tok::Punct, std::string(1, c), line});
+        lastTokenLine = line;
+        advance(1);
+    }
+
+    return res;
+}
+
+} // namespace rbvlint

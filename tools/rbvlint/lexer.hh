@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Token scanner for rbvlint.
+ *
+ * A deliberately small C++ lexer: it splits a translation unit into
+ * identifiers, literals, punctuation, and preprocessor directives,
+ * strips comments and string contents (so rule matching never fires
+ * on prose), and records `// rbvlint: allow(<rule>)` escape pragmas
+ * with the lines they cover.
+ */
+
+#ifndef RBVLINT_LEXER_HH
+#define RBVLINT_LEXER_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rbvlint {
+
+enum class Tok
+{
+    Ident,   ///< Identifier or keyword.
+    Number,  ///< Numeric literal.
+    String,  ///< String literal (text dropped).
+    CharLit, ///< Character literal (text dropped).
+    Punct,   ///< One punctuation rune ("::" is two tokens ':' ':').
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int line; ///< 1-based.
+};
+
+/**
+ * One `rbvlint: allow(<rules>)` pragma. It suppresses matching
+ * violations on the line it appears on and, when the comment stands
+ * alone, on the following line.
+ */
+struct AllowPragma
+{
+    int line;
+    std::string rule; ///< Rule spec as written; "*" allows all.
+};
+
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<AllowPragma> allows;
+    std::vector<std::string> rawLines; ///< Verbatim source lines.
+};
+
+/** Tokenize one file's contents. Never throws on malformed input. */
+LexResult lex(const std::string &text);
+
+} // namespace rbvlint
+
+#endif // RBVLINT_LEXER_HH

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * rbvlint driver: walk the tree, lint every C++ file, report.
+ *
+ * Usage:
+ *   rbvlint [--root DIR] [--allowlist FILE] [--quiet] [PATH...]
+ *
+ * PATHs are files or directories relative to the root (default:
+ * src bench tools examples, whichever exist). Exit status is 0 when
+ * clean, 1 on violations, 2 on usage or I/O errors. Output order is
+ * deterministic: files sorted by path, violations sorted by line.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rbvlint/rules.hh"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options
+{
+    fs::path root = ".";
+    fs::path allowlistFile; ///< Empty: <root>/tools/rbvlint/allowlist.txt
+    bool quiet = false;
+    std::vector<std::string> paths;
+};
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: rbvlint [--root DIR] [--allowlist FILE] [--quiet]"
+          " [--list-rules] [PATH...]\n"
+          "Lints C++ sources against the repo's determinism and\n"
+          "hygiene rules. PATHs default to: src bench tools examples.\n";
+    return 2;
+}
+
+bool
+lintableFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hh" || ext == ".h" || ext == ".hpp" ||
+           ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+/** Path relative to root with forward slashes. */
+std::string
+relPath(const fs::path &p, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    if (ec || rel.empty())
+        rel = p;
+    return rel.generic_string();
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    bool listRules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            opt.root = argv[++i];
+        } else if (arg == "--allowlist" && i + 1 < argc) {
+            opt.allowlistFile = argv[++i];
+        } else if (arg == "--quiet" || arg == "-q") {
+            opt.quiet = true;
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "rbvlint: unknown flag " << arg << "\n";
+            return usage(std::cerr);
+        } else {
+            opt.paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const auto &r : rbvlint::allRules())
+            std::cout << r << "\n";
+        return 0;
+    }
+
+    if (!fs::exists(opt.root) || !fs::is_directory(opt.root)) {
+        std::cerr << "rbvlint: root '" << opt.root.string()
+                  << "' is not a directory\n";
+        return 2;
+    }
+
+    // Load the allowlist (optional if the default file is absent).
+    rbvlint::Allowlist allowlist;
+    fs::path allowPath = opt.allowlistFile;
+    const bool allowExplicit = !allowPath.empty();
+    if (!allowExplicit)
+        allowPath = opt.root / "tools" / "rbvlint" / "allowlist.txt";
+    if (fs::exists(allowPath)) {
+        std::string text;
+        if (!readFile(allowPath, text)) {
+            std::cerr << "rbvlint: cannot read allowlist "
+                      << allowPath.string() << "\n";
+            return 2;
+        }
+        std::string error;
+        if (!rbvlint::Allowlist::parse(text, allowlist, error)) {
+            std::cerr << "rbvlint: " << allowPath.string() << ": "
+                      << error << "\n";
+            return 2;
+        }
+    } else if (allowExplicit) {
+        std::cerr << "rbvlint: allowlist " << allowPath.string()
+                  << " not found\n";
+        return 2;
+    }
+
+    if (opt.paths.empty())
+        for (const char *d : {"src", "bench", "tools", "examples"})
+            if (fs::exists(opt.root / d))
+                opt.paths.push_back(d);
+
+    // Collect files, deterministically ordered.
+    std::vector<fs::path> files;
+    for (const auto &p : opt.paths) {
+        const fs::path full = opt.root / p;
+        if (fs::is_directory(full)) {
+            for (const auto &e :
+                 fs::recursive_directory_iterator(full))
+                if (e.is_regular_file() && lintableFile(e.path()))
+                    files.push_back(e.path());
+        } else if (fs::is_regular_file(full)) {
+            files.push_back(full);
+        } else {
+            std::cerr << "rbvlint: no such path: " << full.string()
+                      << "\n";
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end(),
+              [&](const fs::path &a, const fs::path &b) {
+                  return relPath(a, opt.root) < relPath(b, opt.root);
+              });
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::size_t violations = 0;
+    std::size_t dirtyFiles = 0;
+    for (const auto &f : files) {
+        std::string text;
+        if (!readFile(f, text)) {
+            std::cerr << "rbvlint: cannot read " << f.string() << "\n";
+            return 2;
+        }
+        const auto vs =
+            rbvlint::lintFile(relPath(f, opt.root), text, allowlist);
+        if (!vs.empty())
+            ++dirtyFiles;
+        violations += vs.size();
+        for (const auto &v : vs)
+            std::cout << v.path << ":" << v.line << ": [" << v.rule
+                      << "] " << v.message << "\n";
+    }
+
+    if (!opt.quiet)
+        std::cerr << "rbvlint: " << files.size() << " files, "
+                  << violations << " violation(s)"
+                  << (violations ? "" : " — clean") << "\n";
+    return violations ? 1 : 0;
+}

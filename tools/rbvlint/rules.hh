@@ -1,0 +1,94 @@
+/**
+ * @file
+ * rbvlint rule engine.
+ *
+ * Five repo-specific rules, each with a stable identifier used in
+ * reports, allowlist entries, and inline escape pragmas:
+ *
+ *  - R1-nondet:       no nondeterminism sources in src/ (rand(),
+ *                     srand, std::random_device, time(),
+ *                     std::chrono::system_clock, unseeded engines).
+ *  - R2-global-state: no mutable global / static non-const state in
+ *                     src/sim, src/core, src/os (the parallel runner
+ *                     shares library state across threads).
+ *  - R3-io:           no std::cout / printf-family output in library
+ *                     code; reporting goes through src/exp/report.hh.
+ *  - R4-include:      headers are guarded and never put
+ *                     `using namespace` at header scope.
+ *  - R5-units:        integer fields in src/sim and src/core whose
+ *                     names read as durations or sizes carry a unit
+ *                     suffix (Us/Ns/Ms/Cycles/Bytes/KiB/MiB).
+ *
+ * A violation can be suppressed either with an inline
+ * `// rbvlint: allow(<rule>)` on (or directly above) the offending
+ * line, or with an allowlist entry `<rule> <path-suffix>`.
+ */
+
+#ifndef RBVLINT_RULES_HH
+#define RBVLINT_RULES_HH
+
+#include <string>
+#include <vector>
+
+namespace rbvlint {
+
+struct Violation
+{
+    std::string path; ///< Repo-relative, forward slashes.
+    int line;
+    std::string rule; ///< e.g. "R2-global-state".
+    std::string message;
+};
+
+/** One allowlist entry: a rule spec plus a path suffix it exempts. */
+struct AllowEntry
+{
+    std::string rule; ///< Rule spec ("R3", "io", "*", ...).
+    std::string pathSuffix;
+};
+
+class Allowlist
+{
+  public:
+    void add(AllowEntry e) { entries.push_back(std::move(e)); }
+
+    /** True if @p rule_id at @p path is exempted. */
+    bool allows(const std::string &rule_id,
+                const std::string &path) const;
+
+    /**
+     * Parse an allowlist file: one `<rule> <path-suffix>` pair per
+     * line, '#' comments. Returns false (with @p error set) on a
+     * malformed line; parsing is all-or-nothing.
+     */
+    static bool parse(const std::string &text, Allowlist &out,
+                      std::string &error);
+
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    std::vector<AllowEntry> entries;
+};
+
+/**
+ * True if a rule spec (from a pragma or allowlist) matches a full
+ * rule id: "*", the full id, the "RN" shorthand, or the bare name
+ * ("global-state") all match "RN-name".
+ */
+bool ruleMatches(const std::string &spec, const std::string &rule_id);
+
+/** Names of all rules, in report order. */
+const std::vector<std::string> &allRules();
+
+/**
+ * Lint one file. @p path must be repo-relative with forward slashes
+ * (rule applicability is decided from it); @p text is the file
+ * contents.
+ */
+std::vector<Violation> lintFile(const std::string &path,
+                                const std::string &text,
+                                const Allowlist &allowlist);
+
+} // namespace rbvlint
+
+#endif // RBVLINT_RULES_HH
