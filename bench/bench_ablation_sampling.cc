@@ -19,6 +19,7 @@
 
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
@@ -59,6 +60,7 @@ int
 main(int argc, char **argv)
 {
     const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
+    const ObsScope obs(cli);
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t requests =
         static_cast<std::size_t>(cli.getInt("requests", 500));

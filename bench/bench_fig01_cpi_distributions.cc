@@ -16,6 +16,7 @@
 
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
@@ -62,6 +63,7 @@ main(int argc, char **argv)
 {
     const Cli cli(argc, argv,
                   {"seed", "requests", "no-hist", "jobs", "quiet"});
+    const ObsScope obs(cli);
     const std::uint64_t seed = cli.getU64("seed", 1);
     const bool show_hist = !cli.has("no-hist");
 

@@ -16,6 +16,7 @@
 
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
@@ -58,6 +59,7 @@ main(int argc, char **argv)
 {
     const Cli cli(argc, argv, {"seed", "requests", "rows", "csv",
                                "jobs", "quiet"});
+    const ObsScope obs(cli);
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t max_rows = static_cast<std::size_t>(
         cli.getInt("rows", 24));

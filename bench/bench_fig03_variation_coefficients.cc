@@ -14,6 +14,7 @@
 
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
@@ -43,6 +44,7 @@ int
 main(int argc, char **argv)
 {
     const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
+    const ObsScope obs(cli);
     const std::uint64_t seed = cli.getU64("seed", 1);
 
     banner("Figure 3",

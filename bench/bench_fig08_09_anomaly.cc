@@ -21,6 +21,7 @@
 #include "core/model/distance.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
@@ -105,6 +106,7 @@ main(int argc, char **argv)
 {
     const Cli cli(argc, argv, {"seed", "requests", "webwork-requests",
                                "rows", "jobs", "quiet"});
+    const ObsScope obs(cli);
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t rows =
         static_cast<std::size_t>(cli.getInt("rows", 16));

@@ -25,6 +25,7 @@
 #include "core/model/signature.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
@@ -70,6 +71,7 @@ main(int argc, char **argv)
 {
     const Cli cli(argc, argv,
                   {"seed", "requests", "bank", "jobs", "quiet"});
+    const ObsScope obs(cli);
     const std::uint64_t seed = cli.getU64("seed", 1);
     const std::size_t bank_target = static_cast<std::size_t>(
         cli.getInt("bank", 500));

@@ -16,6 +16,7 @@
 #include "core/predict/predictor.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
@@ -29,6 +30,7 @@ int
 main(int argc, char **argv)
 {
     const Cli cli(argc, argv, {"seed", "requests", "jobs", "quiet"});
+    const ObsScope obs(cli);
     const std::uint64_t seed = cli.getU64("seed", 1);
 
     banner("Figure 11", "Online prediction of L2 misses/instruction "

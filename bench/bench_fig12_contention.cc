@@ -19,6 +19,7 @@
 #include "exp/aggregate.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
@@ -55,6 +56,7 @@ main(int argc, char **argv)
 {
     const Cli cli(argc, argv,
                   {"seed", "requests", "runs", "jobs", "quiet"});
+    const ObsScope obs(cli);
     const std::uint64_t seed = cli.getU64("seed", 1);
     const int runs = static_cast<int>(cli.getInt("runs", 5));
 

@@ -8,6 +8,13 @@
  * These bound the real-time budget of online request modeling: all
  * per-sample operations must stay far below the per-sample cost of
  * Table 1 (~0.4-0.8 us on the paper's hardware).
+ *
+ * The BM_Obs* benchmarks bound the observability layer's own cost
+ * (ISSUE 3 acceptance): dormant sites (no session attached) must be
+ * ~a thread-local load and branch, and with -DRBV_OBS=0 the compiler
+ * must erase them entirely — compare the two build configurations.
+ * The instrumented-vs-uninstrumented pair (BM_SignatureBankIdentify
+ * here vs its dormant-session cost) is the <=2% overhead check.
  */
 
 #include <benchmark/benchmark.h>
@@ -16,6 +23,7 @@
 #include "core/model/signature.hh"
 #include "core/predict/predictor.hh"
 #include "core/timeline.hh"
+#include "obs/obs.hh"
 #include "stats/rng.hh"
 
 using namespace rbv;
@@ -94,9 +102,89 @@ BM_KMedoids(benchmark::State &state)
     }
 }
 
+// ------------------------------------------------- obs layer costs
+
+void
+BM_ObsCounterDormant(benchmark::State &state)
+{
+    // No session: the macro is one thread-local load plus a branch
+    // (or nothing at all under -DRBV_OBS=0).
+    for (auto _ : state)
+        RBV_COUNT(SimEventsFired, 1);
+}
+
+void
+BM_ObsCounterActive(benchmark::State &state)
+{
+    obs::Session session;
+    for (auto _ : state)
+        RBV_COUNT(SimEventsFired, 1);
+}
+
+void
+BM_ObsProfScopeDormant(benchmark::State &state)
+{
+    for (auto _ : state) {
+        RBV_PROF_SCOPE(DtwDistance);
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_ObsProfScopeActive(benchmark::State &state)
+{
+    obs::Session session;
+    for (auto _ : state) {
+        RBV_PROF_SCOPE(DtwDistance);
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_ObsTraceInstantActive(benchmark::State &state)
+{
+    obs::Session session;
+    double ts = 0.0;
+    for (auto _ : state) {
+        obs::simInstant("bench", "instant", 0, ts);
+        ts += 1.0;
+    }
+}
+
+/**
+ * The acceptance check in situ: identification against a 500-entry
+ * bank with the profiled scopes dormant (compiled in, no session) —
+ * compare against BM_SignatureBankIdentify/500/60 in the same run,
+ * and against the same pair under -DRBV_OBS=0.
+ */
+void
+BM_ObsSignatureIdentifyActive(benchmark::State &state)
+{
+    obs::Session session;
+    stats::Rng rng(2);
+    SignatureBank bank(1.0e5);
+    for (std::size_t i = 0; i < 500; ++i) {
+        MetricSeries s;
+        for (int k = 0; k < 60; ++k)
+            s.push_back(rng.uniform(0.0, 0.05));
+        bank.add(std::move(s), rng.uniform(1e6, 1e8), 0);
+    }
+    MetricSeries prefix;
+    for (std::size_t k = 0; k < 60; ++k)
+        prefix.push_back(rng.uniform(0.0, 0.05));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bank.identify(prefix));
+}
+
 } // namespace
 
 BENCHMARK(BM_VaEwmaObserve);
+BENCHMARK(BM_ObsCounterDormant);
+BENCHMARK(BM_ObsCounterActive);
+BENCHMARK(BM_ObsProfScopeDormant);
+BENCHMARK(BM_ObsProfScopeActive);
+BENCHMARK(BM_ObsTraceInstantActive);
+BENCHMARK(BM_ObsSignatureIdentifyActive);
 BENCHMARK(BM_SignatureBankIdentify)
     ->Args({100, 10})
     ->Args({500, 10})

@@ -18,6 +18,7 @@
 
 #include "core/sampling/sampler.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "os/kernel.hh"
@@ -99,6 +100,7 @@ int
 main(int argc, char **argv)
 {
     const exp::Cli cli(argc, argv, {"ms", "jobs", "quiet"});
+    const exp::ObsScope obs(cli);
     const double run_ms = cli.getDouble("ms", 200.0);
     const sim::Tick duration = sim::msToCycles(run_ms);
 

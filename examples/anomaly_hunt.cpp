@@ -15,6 +15,7 @@
 #include "core/model/distance.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/table.hh"
@@ -26,6 +27,7 @@ main(int argc, char **argv)
 {
     const exp::Cli cli(argc, argv,
                        {"app", "requests", "seed", "jobs", "quiet"});
+    const exp::ObsScope obs(cli);
 
     exp::ScenarioConfig cfg;
     cfg.app = wl::appFromName(cli.getStr("app", "tpch"));

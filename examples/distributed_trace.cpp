@@ -15,6 +15,7 @@
 #include "core/sampling/sampler.hh"
 #include "dist/cluster.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "stats/rng.hh"
 #include "stats/table.hh"
 
@@ -137,6 +138,7 @@ int
 main(int argc, char **argv)
 {
     const exp::Cli cli(argc, argv, {"requests", "seed"});
+    const exp::ObsScope obs(cli);
     const int requests = static_cast<int>(cli.getInt("requests", 40));
     const std::uint64_t seed = cli.getU64("seed", 1);
 

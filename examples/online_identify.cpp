@@ -14,6 +14,7 @@
 #include "core/model/signature.hh"
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -24,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     const exp::Cli cli(argc, argv, {"app", "requests", "seed"});
+    const exp::ObsScope obs(cli);
 
     exp::ScenarioConfig cfg;
     cfg.app = wl::appFromName(cli.getStr("app", "rubis"));

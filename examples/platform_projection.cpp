@@ -13,6 +13,7 @@
 
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
@@ -44,6 +45,7 @@ main(int argc, char **argv)
 {
     const exp::Cli cli(argc, argv,
                        {"app", "requests", "seed", "jobs", "quiet"});
+    const exp::ObsScope obs(cli);
     const auto app = wl::appFromName(cli.getStr("app", "tpch"));
     const auto requests =
         static_cast<std::size_t>(cli.getInt("requests", 120));

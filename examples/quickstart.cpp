@@ -13,6 +13,7 @@
 
 #include "exp/analysis.hh"
 #include "exp/cli.hh"
+#include "exp/obsio.hh"
 #include "exp/scenario.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -23,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     const exp::Cli cli(argc, argv, {"app", "requests", "seed"});
+    const exp::ObsScope obs(cli);
 
     // 1. Configure a scenario: which application, how many cores,
     //    how many requests, and which sampler. Everything else

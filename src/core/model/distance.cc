@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "stats/summary.hh"
+#include "obs/obs.hh"
 
 namespace rbv::core {
 
@@ -29,6 +30,7 @@ double
 dtwDistance(const MetricSeries &x, const MetricSeries &y,
             double async_penalty)
 {
+    RBV_PROF_SCOPE(DtwDistance);
     const std::size_t m = x.size(), n = y.size();
     if (m == 0 || n == 0) {
         // Degenerate: all steps are asynchronous.
@@ -92,6 +94,7 @@ double
 levenshteinDistance(const std::vector<os::Sys> &a,
                     const std::vector<os::Sys> &b, std::size_t max_len)
 {
+    RBV_PROF_SCOPE(LevenshteinDistance);
     const std::vector<os::Sys> x = subsample(a, max_len);
     const std::vector<os::Sys> y = subsample(b, max_len);
     const std::size_t m = x.size(), n = y.size();

@@ -4,6 +4,7 @@
  */
 
 #include "core/model/kmedoids.hh"
+#include "obs/obs.hh"
 
 #include <algorithm>
 #include <cmath>
@@ -16,6 +17,7 @@ DistanceMatrix::build(
     std::size_t n,
     const std::function<double(std::size_t, std::size_t)> &dist)
 {
+    RBV_PROF_SCOPE(DistanceMatrixBuild);
     DistanceMatrix dm(n);
     for (std::size_t i = 0; i < n; ++i)
         for (std::size_t j = i + 1; j < n; ++j)
@@ -37,6 +39,7 @@ Clustering
 kMedoids(const DistanceMatrix &dm, std::size_t k, stats::Rng &rng,
          std::size_t max_iter)
 {
+    RBV_PROF_SCOPE(KMedoids);
     const std::size_t n = dm.size();
     Clustering cl;
     if (n == 0)

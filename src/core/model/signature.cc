@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "stats/summary.hh"
+#include "obs/obs.hh"
 
 namespace rbv::core {
 
@@ -26,6 +27,7 @@ SignatureBank::add(MetricSeries series, double cpu_cycles, int class_id)
 std::size_t
 SignatureBank::identify(const MetricSeries &partial) const
 {
+    RBV_PROF_SCOPE(SignatureIdentify);
     if (entries.empty() || partial.empty())
         return npos;
 

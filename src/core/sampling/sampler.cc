@@ -7,6 +7,9 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
+#include "sim/types.hh"
+
 namespace rbv::core {
 
 namespace {
@@ -70,6 +73,12 @@ Sampler::takeSample(sim::CoreId core, SampleTrigger trigger,
     const os::RequestId req = kernel.currentRequest(core);
 
     if (delta.instructions >= MinPeriodIns) {
+        RBV_HIST(SamplingPeriodCycles, delta.cycles);
+        rbv::obs::simInstant(
+            "core.sampling", "sample", core,
+            sim::cyclesToUs(static_cast<double>(kernel.now())),
+            "misses_per_ins",
+            delta.l2Misses / std::max(delta.instructions, 1.0));
         Period p;
         p.instructions = delta.instructions;
         p.cycles = delta.cycles;
@@ -95,7 +104,10 @@ Sampler::takeSample(sim::CoreId core, SampleTrigger trigger,
             observerCost(ctx, machine.currentMissesPerIns(core));
         machine.pushFixedWork(core, cost);
         sstats.overheadCycles += cost.cycles;
+        rbv::obs::counterAdd(rbv::obs::Counter::SamplingOverheadCycles,
+                             static_cast<std::uint64_t>(cost.cycles));
     }
+    RBV_COUNT(SamplingSamples, 1);
 
     switch (trigger) {
       case SampleTrigger::ContextSwitch:

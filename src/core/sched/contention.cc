@@ -5,6 +5,9 @@
 
 #include "core/sched/contention.hh"
 
+#include "obs/obs.hh"
+#include "sim/types.hh"
+
 namespace rbv::core {
 
 ContentionEasingPolicy::ContentionEasingPolicy(ContentionConfig cfg)
@@ -104,6 +107,11 @@ ContentionEasingPolicy::pickNext(
         headDeferrals[head] = 0;
         return 0;
     }
+    RBV_COUNT(SchedContentionDeferrals, 1);
+    rbv::obs::simInstant(
+        "core.sched", "contention_deferral", core,
+        sim::cyclesToUs(static_cast<double>(kernel.now())), "choice",
+        static_cast<double>(choice));
     return choice;
 }
 

@@ -37,12 +37,23 @@ Cli::Cli(int argc, char **argv,
     : Cli(argc, argv)
 {
     std::vector<std::string> names(known.begin(), known.end());
+    for (const auto &name : standardFlagNames())
+        if (std::find(names.begin(), names.end(), name) == names.end())
+            names.push_back(name);
+    std::sort(names.begin(), names.end());
+
+    if (has("help")) {
+        // Documentation on request is the one legitimate stdout use
+        // outside the result tables.
+        std::cout << helpText(argv[0], names); // rbvlint: allow(R3)
+        std::exit(0);
+    }
+
     const auto bad = unknown(names);
     if (bad.empty())
         return;
     std::cerr << argv[0] << ": unknown flag --" << bad.front()
               << "\naccepted flags:";
-    std::sort(names.begin(), names.end());
     for (const auto &name : names)
         std::cerr << " --" << name;
     std::cerr << "\n";
@@ -113,6 +124,89 @@ Cli::getBool(const std::string &name, bool def) const
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
     return def;
+}
+
+// -------------------------------------------------- flag catalogue
+
+namespace {
+
+/** Every flag any bench/example accepts, with its documentation. */
+const std::pair<const char *, const char *> FlagCatalogue[] = {
+    {"app", "application to simulate (web|tpcc|tpch|rubis|webwork)"},
+    {"bank", "signature-bank size per application (requests)"},
+    {"csv", "also write the per-request records as CSV to this path"},
+    {"help", "print this flag documentation and exit"},
+    {"jobs", "worker threads for independent simulations "
+             "(0 = hardware concurrency)"},
+    {"k", "number of k-medoids clusters"},
+    {"metrics-out",
+     "write merged obs counters/histograms (flat text) to this path"},
+    {"ms", "measurement window per sampling variant (milliseconds)"},
+    {"no-hist", "suppress the distribution histogram output"},
+    {"prof", "print the obs top-N self-profile table to stderr"},
+    {"quiet", "suppress per-job progress lines on stderr"},
+    {"requests", "requests to simulate per run"},
+    {"rows", "rows of the per-request behavior table to print"},
+    {"rubis", "RUBiS requests for the mixed-workload phase"},
+    {"runs", "seed replicates per configuration"},
+    {"seed", "base RNG seed (replicate r runs with a derived seed)"},
+    {"tpch", "TPC-H requests for the mixed-workload phase"},
+    {"trace-buf",
+     "trace ring capacity per thread in events (0 disables tracing)"},
+    {"trace-out",
+     "write a Chrome trace_event JSON (Perfetto-loadable) to this "
+     "path"},
+    {"webwork-requests", "WeBWorK requests (its reference solutions "
+                         "are heavier than other apps' requests)"},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+standardFlagNames()
+{
+    static const std::vector<std::string> names = {
+        "help", "metrics-out", "prof", "trace-buf", "trace-out"};
+    return names;
+}
+
+std::string
+flagHelp(const std::string &name)
+{
+    for (const auto &[flag, help] : FlagCatalogue)
+        if (name == flag)
+            return help;
+    return "";
+}
+
+std::vector<std::string>
+documentedFlagNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[flag, help] : FlagCatalogue) {
+        (void)help;
+        out.emplace_back(flag);
+    }
+    return out;
+}
+
+std::string
+helpText(const std::string &argv0,
+         const std::vector<std::string> &names)
+{
+    std::string out = "usage: " + argv0 +
+                      " [--flag value | --flag=value | --flag]...\n"
+                      "accepted flags:\n";
+    std::size_t width = 0;
+    for (const auto &name : names)
+        width = std::max(width, name.size());
+    for (const auto &name : names) {
+        const std::string help = flagHelp(name);
+        out += "  --" + name;
+        out.append(width - name.size() + 2, ' ');
+        out += (help.empty() ? "(undocumented)" : help) + "\n";
+    }
+    return out;
 }
 
 } // namespace rbv::exp

@@ -10,6 +10,13 @@
  * Binaries construct Cli with their accepted flag names; an unknown
  * flag (e.g. the typo "--request") aborts with a clear error instead
  * of being silently ignored.
+ *
+ * Every validating binary also accepts the standard flags
+ * (standardFlagNames()): --help prints generated documentation for
+ * the accepted set, and --trace-out / --metrics-out / --trace-buf /
+ * --prof drive the rbv::obs observability layer (see
+ * docs/OBSERVABILITY.md). Each flag name has a registered help string
+ * in flagHelp(); cli_test asserts the catalogue is complete.
  */
 
 #ifndef RBV_EXP_CLI_HH
@@ -60,6 +67,28 @@ class Cli
   private:
     std::map<std::string, std::string> flags;
 };
+
+/**
+ * Flags every validating binary accepts implicitly: --help plus the
+ * observability flags consumed by ObsScope (exp/obsio.hh).
+ */
+const std::vector<std::string> &standardFlagNames();
+
+/**
+ * One-line documentation for a registered flag name; empty for an
+ * unregistered name (cli_test asserts no binary uses one).
+ */
+std::string flagHelp(const std::string &name);
+
+/** Names with a registered (non-empty) flagHelp() entry. */
+std::vector<std::string> documentedFlagNames();
+
+/**
+ * Generated --help text: usage line plus one "  --name  help" row per
+ * accepted flag, sorted by name.
+ */
+std::string helpText(const std::string &argv0,
+                     const std::vector<std::string> &names);
 
 } // namespace rbv::exp
 

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "exp/cli.hh"
+#include "obs/obs.hh"
 
 namespace rbv::exp {
 
@@ -195,8 +196,14 @@ ParallelRunner::dispatch(
 
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads) - 1);
-    for (int t = 1; t < threads; ++t)
-        pool.emplace_back(worker);
+    for (int t = 1; t < threads; ++t) {
+        pool.emplace_back([&worker, t] {
+            // Worker t records into its own obs shard (host track t);
+            // shards merge only after the pool is joined.
+            const obs::WorkerGuard guard(static_cast<std::uint32_t>(t));
+            worker();
+        });
+    }
     worker();
     for (auto &th : pool)
         th.join();
@@ -220,12 +227,21 @@ ParallelRunner::run(const std::vector<Job> &jobs) const
         const auto t0 = std::chrono::steady_clock::now();
         JobResult &slot = results[i];
         slot.key = job.key;
-        slot.result = job.body ? job.body(job.config)
-                               : runScenario(job.config);
+        {
+            // Each job's simulated-clock events render as their own
+            // trace process, named by the job key.
+            const obs::ScopedSimProcess proc(
+                static_cast<std::uint32_t>(2 + i), job.key);
+            slot.result = job.body ? job.body(job.config)
+                                   : runScenario(job.config);
+        }
         slot.seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
                 .count();
+        obs::hostSlice("exp.job", job.key, slot.seconds * 1e6);
+        RBV_COUNT(ExpJobsCompleted, 1);
+        RBV_HIST(ExpJobMs, slot.seconds * 1e3);
         const std::size_t finished =
             done.fetch_add(1, std::memory_order_relaxed) + 1;
         if (opts.progress) {

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "wl/server.hh"
 
 namespace rbv::exp {
@@ -113,6 +114,7 @@ effectivePeriodUs(const ScenarioConfig &cfg)
 ScenarioResult
 runScenario(const ScenarioConfig &cfg)
 {
+    RBV_PROF_SCOPE(RunScenario);
     auto gen = wl::makeGenerator(cfg.app);
     const double period_us = effectivePeriodUs(cfg);
 

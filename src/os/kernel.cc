@@ -6,6 +6,8 @@
 #include "os/kernel.hh"
 
 #include "core/check.hh"
+#include "obs/obs.hh"
+#include "sim/types.hh"
 
 namespace rbv::os {
 
@@ -90,6 +92,9 @@ Kernel::registerRequest(std::string class_name, const void *spec)
     info.spec = spec;
     info.injected = now();
     reqs.push_back(std::move(info));
+    obs::simSpanBegin("os.request", "request", reqs.back().id,
+                      sim::cyclesToUs(static_cast<double>(now())),
+                      "id", static_cast<double>(reqs.back().id));
     return reqs.back().id;
 }
 
@@ -122,6 +127,12 @@ Kernel::completeRequest(RequestId id)
     info.done = true;
     info.completed = now();
     ++numCompleted;
+    RBV_COUNT(OsRequestsCompleted, 1);
+    RBV_HIST(OsRequestLatencyUs,
+             sim::cyclesToUs(static_cast<double>(info.completed -
+                                                 info.injected)));
+    obs::simSpanEnd("os.request", "request", id,
+                    sim::cyclesToUs(static_cast<double>(now())));
     RBV_CHECK(numCompleted <= reqs.size());
     for (auto *h : hooks)
         h->onRequestComplete(info);
@@ -243,6 +254,10 @@ Kernel::switchIn(sim::CoreId core, ThreadId tid)
     // pollution cost through the footprint save/restore below.
     mach.pushFixedWork(core, cfg.contextSwitchCost);
     ++kstats.contextSwitches;
+    RBV_COUNT(OsContextSwitches, 1);
+    obs::simInstant("os.sched", "switch_in", core,
+                    sim::cyclesToUs(static_cast<double>(now())),
+                    "thread", static_cast<double>(tid));
 
     // Restore whatever survives of the thread's cache footprint. A
     // footprint in a different L2 domain is worthless here.
@@ -343,6 +358,9 @@ Kernel::handleSyscall(sim::CoreId core, ThreadId tid,
 {
     Thread &t = thr(tid);
     ++kstats.syscalls;
+    RBV_COUNT(OsSyscalls, 1);
+    obs::simInstant("os.syscall", sysName(act.id).data(), core,
+                    sim::cyclesToUs(static_cast<double>(now())));
 
     if (t.request != InvalidRequestId) {
         RequestInfo &info = reqs[t.request];
@@ -428,6 +446,7 @@ Kernel::wake(ThreadId tid)
         return;
     t.state = ThreadState::Runnable;
     ++kstats.wakeups;
+    RBV_COUNT(OsWakeups, 1);
 
     // Placement: an idle core first (prefer the thread's home core),
     // then the shortest runqueue. Scheduling itself never migrates;
@@ -489,6 +508,7 @@ Kernel::quantumFired(sim::CoreId core)
         return;
     }
     ++kstats.preemptions;
+    RBV_COUNT(OsPreemptions, 1);
     const ThreadId tid = cs.running;
     switchOut(core, ThreadState::Runnable);
     cs.rq.push_back(tid);

@@ -6,6 +6,7 @@
 #include "sim/cache.hh"
 
 #include "core/check.hh"
+#include "obs/obs.hh"
 
 namespace rbv::sim {
 
@@ -17,6 +18,8 @@ waterFillTargets(double capacity, const std::vector<double> &weights,
               "water-fill arity mismatch: " << weights.size()
                   << " weights vs " << working_sets.size()
                   << " working sets");
+    RBV_PROF_SCOPE(WaterFill);
+    RBV_COUNT(SimWaterFills, 1);
     const std::size_t n = weights.size();
     std::vector<double> targets(n, 0.0);
     if (n == 0 || capacity <= 0.0)

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/check.hh"
+#include "obs/obs.hh"
 
 namespace rbv::sim {
 
@@ -20,13 +21,17 @@ EventQueue::schedule(Tick when, Callback cb)
     const EventId id = nextId++;
     heap.push(Entry{when, nextSeq++, id});
     pending.emplace(id, std::move(cb));
+    RBV_COUNT(SimEventsScheduled, 1);
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    return pending.erase(id) > 0;
+    const bool erased = pending.erase(id) > 0;
+    if (erased)
+        RBV_COUNT(SimEventsCancelled, 1);
+    return erased;
 }
 
 Tick
@@ -55,6 +60,7 @@ EventQueue::runOne()
                       << " with now=" << curTick);
         curTick = top.when;
         ++fired;
+        RBV_COUNT(SimEventsFired, 1);
         cb();
         return true;
     }
@@ -67,6 +73,7 @@ EventQueue::runUntil(Tick limit)
     RBV_CHECK(limit >= curTick,
               "runUntil limit " << limit << " is before now="
                                 << curTick);
+    RBV_PROF_SCOPE(EventQueuePump);
     stopRequested = false;
     while (!stopRequested) {
         // Skip over cancelled heap tops to find the true next event.

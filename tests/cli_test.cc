@@ -1,0 +1,133 @@
+/**
+ * @file
+ * CLI flag-documentation tests: every flag a bench/example registers
+ * has a non-empty help string in the catalogue, the standard flags
+ * are all documented, and the generated --help text covers the
+ * accepted set.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/cli.hh"
+
+using namespace rbv::exp;
+
+namespace {
+
+/**
+ * Union of the accepted-flag lists of every bench and example binary
+ * (each binary's Cli constructor call). A new binary flag must be
+ * added here AND to the catalogue in cli.cc; this test fails loudly
+ * when the catalogue entry is missing.
+ */
+const std::vector<std::string> BinaryFlags = {
+    "app",  "bank",    "csv",  "jobs", "k",    "ms",
+    "no-hist", "quiet", "requests", "rows", "rubis", "runs",
+    "seed", "tpch",    "webwork-requests",
+};
+
+TEST(FlagHelp, EveryBinaryFlagIsDocumented)
+{
+    for (const auto &name : BinaryFlags)
+        EXPECT_FALSE(flagHelp(name).empty())
+            << "flag --" << name << " has no help string in cli.cc";
+}
+
+TEST(FlagHelp, EveryStandardFlagIsDocumented)
+{
+    for (const auto &name : standardFlagNames())
+        EXPECT_FALSE(flagHelp(name).empty())
+            << "standard flag --" << name << " has no help string";
+}
+
+TEST(FlagHelp, EveryCatalogueEntryIsNonEmpty)
+{
+    const auto names = documentedFlagNames();
+    EXPECT_FALSE(names.empty());
+    for (const auto &name : names) {
+        EXPECT_FALSE(name.empty());
+        EXPECT_FALSE(flagHelp(name).empty()) << name;
+    }
+}
+
+TEST(FlagHelp, CatalogueCoversExactlyTheKnownFlags)
+{
+    // The catalogue must not drift: it is the binary flags plus the
+    // standard flags, nothing else (dead entries hide typos).
+    std::vector<std::string> expected = BinaryFlags;
+    for (const auto &name : standardFlagNames())
+        expected.push_back(name);
+    std::sort(expected.begin(), expected.end());
+
+    std::vector<std::string> actual = documentedFlagNames();
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(FlagHelp, UnknownFlagHasNoHelp)
+{
+    EXPECT_TRUE(flagHelp("request").empty()); // the classic typo
+    EXPECT_TRUE(flagHelp("").empty());
+}
+
+TEST(HelpText, ListsEveryAcceptedFlagWithItsHelp)
+{
+    const std::vector<std::string> names = {"seed", "requests",
+                                            "trace-out"};
+    const std::string text = helpText("bench_x", names);
+    EXPECT_NE(text.find("usage: bench_x"), std::string::npos);
+    for (const auto &name : names) {
+        EXPECT_NE(text.find("--" + name), std::string::npos);
+        EXPECT_NE(text.find(flagHelp(name)), std::string::npos);
+    }
+}
+
+TEST(HelpText, FlagsUnknownToTheCatalogueAreMarked)
+{
+    const std::string text =
+        helpText("x", {"seed", "not-a-real-flag"});
+    EXPECT_NE(text.find("--not-a-real-flag"), std::string::npos);
+    EXPECT_NE(text.find("(undocumented)"), std::string::npos);
+}
+
+TEST(Cli, StandardFlagsAcceptedByValidatingCtor)
+{
+    const char *argv[] = {"prog", "--seed", "7",
+                          "--trace-out=/tmp/t.json",
+                          "--metrics-out", "/tmp/m.txt", "--prof"};
+    // Validating ctor with only binary-specific names: the standard
+    // flags must pass validation implicitly (no exit(2)).
+    const Cli cli(7, const_cast<char **>(argv), {"seed"});
+    EXPECT_EQ(cli.getU64("seed", 0), 7u);
+    EXPECT_EQ(cli.getStr("trace-out", ""), "/tmp/t.json");
+    EXPECT_EQ(cli.getStr("metrics-out", ""), "/tmp/m.txt");
+    EXPECT_TRUE(cli.getBool("prof", false));
+}
+
+TEST(CliDeath, HelpPrintsDocumentationAndExitsZero)
+{
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_EXIT(
+        {
+            const Cli cli(2, const_cast<char **>(argv),
+                          {"seed", "requests"});
+        },
+        testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeath, UnknownFlagStillExitsTwo)
+{
+    const char *argv[] = {"prog", "--request", "5"};
+    EXPECT_EXIT(
+        {
+            const Cli cli(3, const_cast<char **>(argv),
+                          {"seed", "requests"});
+        },
+        testing::ExitedWithCode(2), "unknown flag --request");
+}
+
+} // namespace
