@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/check.hh"
 #include "stats/summary.hh"
 #include "obs/obs.hh"
 
@@ -23,6 +24,8 @@ l1Distance(const MetricSeries &x, const MetricSeries &y, double p)
     for (std::size_t i = 0; i < common; ++i)
         d += std::abs(x[i] - y[i]);
     d += static_cast<double>(m > n ? m - n : n - m) * p;
+    RBV_DCHECK(std::isfinite(d),
+               "l1Distance produced a non-finite value");
     return d;
 }
 
@@ -59,6 +62,8 @@ dtwDistance(const MetricSeries &x, const MetricSeries &y,
         }
         std::swap(prev, cur);
     }
+    RBV_DCHECK(std::isfinite(prev[n - 1]),
+               "dtwDistance produced a non-finite value");
     return prev[n - 1];
 }
 
@@ -128,7 +133,7 @@ lengthPenalty(const std::vector<MetricSeries> &series, stats::Rng &rng,
     for (const auto &s : series)
         if (!s.empty())
             nonempty.push_back(&s);
-    if (nonempty.empty())
+    if (pairs == 0 || nonempty.empty())
         return 0.0;
 
     std::vector<double> diffs;

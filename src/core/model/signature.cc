@@ -55,6 +55,55 @@ SignatureBank::identify(const MetricSeries &partial) const
     return best;
 }
 
+SignatureBank::Identification
+SignatureBank::identifyWithConfidence(const MetricSeries &partial,
+                                      double floor) const
+{
+    // Duplicates identify()'s distance loop rather than refactoring
+    // it: the fast path must stay byte-identical when no confidence
+    // is requested.
+    Identification out;
+    if (entries.empty() || partial.empty())
+        return out;
+
+    std::size_t best = npos;
+    double best_d = std::numeric_limits<double>::infinity();
+    double second_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &sig = entries[i].series;
+        const std::size_t common = std::min(partial.size(), sig.size());
+        double d = 0.0;
+        for (std::size_t k = 0; k < common; ++k)
+            d += std::abs(partial[k] - sig[k]);
+        for (std::size_t k = common; k < partial.size(); ++k)
+            d += std::abs(partial[k]);
+        d /= static_cast<double>(partial.size());
+        if (d < best_d) {
+            second_d = best_d;
+            best_d = d;
+            best = i;
+        } else if (d < second_d) {
+            second_d = d;
+        }
+    }
+
+    double confidence = 0.0;
+    if (entries.size() == 1) {
+        // No competitor to separate from; scale by closeness alone.
+        confidence = 1.0 / (1.0 + best_d);
+    } else if (second_d > 0.0) {
+        confidence = (second_d - best_d) / second_d;
+    }
+    if (!std::isfinite(confidence))
+        confidence = 0.0;
+
+    if (confidence < floor)
+        return out; // unknown request: refuse to guess
+    out.index = best;
+    out.confidence = confidence;
+    return out;
+}
+
 std::size_t
 SignatureBank::identifyByAverage(const MetricSeries &partial) const
 {

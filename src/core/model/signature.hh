@@ -66,6 +66,24 @@ class SignatureBank
      */
     std::size_t identifyByAverage(const MetricSeries &partial) const;
 
+    /** identify() result with a separation-based confidence score. */
+    struct Identification
+    {
+        std::size_t index = ~std::size_t{0}; ///< npos when unknown.
+        double confidence = 0.0;             ///< In [0, 1].
+    };
+
+    /**
+     * identify() plus graceful degradation for corrupted telemetry:
+     * confidence is the relative separation between the best and
+     * second-best match, (d2 - d1) / d2 — near zero when the partial
+     * series is ambiguous (e.g. after dropped sampling interrupts).
+     * A result below the floor reports npos ("unknown request")
+     * instead of guessing.
+     */
+    Identification identifyWithConfidence(const MetricSeries &partial,
+                                          double floor = 0.0) const;
+
     static constexpr std::size_t npos = ~std::size_t{0};
 
   private:

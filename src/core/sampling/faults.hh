@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sampling-side fault surface: the interface through which a fault
+ * injector (rbv::fi) degrades the telemetry a sampler sees, without
+ * the sampling layer depending on the fi layer.
+ *
+ * The sampler consults this interface at two points: when a counter
+ * overflow interrupt is about to be delivered (it may be dropped or
+ * coalesced, as on a loaded 2.6.18 kernel), and when a counter
+ * snapshot is read (reads may saturate or suffer bit corruption).
+ * With no fault layer attached the sampler never touches this
+ * interface — the dormant path stays byte-identical.
+ */
+
+#ifndef RBV_CORE_SAMPLING_FAULTS_HH
+#define RBV_CORE_SAMPLING_FAULTS_HH
+
+#include "sim/counters.hh"
+#include "sim/types.hh"
+
+namespace rbv::core {
+
+/** Outcome of a counter-overflow interrupt under fault injection. */
+enum class IrqFate
+{
+    Deliver,  ///< Normal delivery: the sample is taken on time.
+    Drop,     ///< Interrupt lost: no sample; the period silently
+              ///< spans two nominal periods (flagged as a gap).
+    Coalesce, ///< Interrupt deferred: the sample is taken late,
+              ///< merged toward the next nominal tick.
+};
+
+/**
+ * Fault hooks consulted by samplers. All methods are called on the
+ * (single-threaded) simulation event loop of one scenario run, so
+ * implementations may keep per-run state without locking.
+ */
+class SamplingFaults
+{
+  public:
+    virtual ~SamplingFaults() = default;
+
+    /** Decide the fate of a counter interrupt about to fire. */
+    virtual IrqFate onCounterIrq(sim::CoreId core)
+    {
+        (void)core;
+        return IrqFate::Deliver;
+    }
+
+    /**
+     * Apply read faults (saturation, bit corruption) to a counter
+     * snapshot in place. Returns true when the snapshot was altered,
+     * so the sampler can flag the derived period as suspect.
+     */
+    virtual bool transformSnapshot(sim::CoreId core,
+                                   sim::CounterSnapshot &snap)
+    {
+        (void)core;
+        (void)snap;
+        return false;
+    }
+};
+
+} // namespace rbv::core
+
+#endif // RBV_CORE_SAMPLING_FAULTS_HH

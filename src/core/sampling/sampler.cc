@@ -6,6 +6,7 @@
 #include "core/sampling/sampler.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/obs.hh"
 #include "sim/types.hh"
@@ -18,6 +19,30 @@ namespace {
 constexpr double MinPeriodIns = 1.0;
 
 const Timeline EmptyTimeline{};
+
+/**
+ * Clamp non-finite / regressed delta fields to zero. Returns whether
+ * the delta was meaningfully tampered with (tiny negative rounding
+ * residues are clamped but not flagged). Only reachable with a fault
+ * layer attached: fault-free deltas are non-negative by the counter
+ * monotonicity invariant.
+ */
+bool
+sanitizeDelta(sim::CounterSnapshot &delta)
+{
+    bool tampered = false;
+    for (double *f : {&delta.cycles, &delta.instructions, &delta.l2Refs,
+                      &delta.l2Misses}) {
+        if (!std::isfinite(*f)) {
+            *f = 0.0;
+            tampered = true;
+        } else if (*f < 0.0) {
+            tampered = tampered || *f < -1e-6;
+            *f = 0.0;
+        }
+    }
+    return tampered;
+}
 
 } // namespace
 
@@ -55,7 +80,10 @@ Sampler::takeSample(sim::CoreId core, SampleTrigger trigger,
                     SampleContext ctx)
 {
     CoreSampleState &cs = coreState[core];
-    const auto snap = machine.counters(core).snapshot();
+    auto snap = machine.counters(core).snapshot();
+    bool tampered = false;
+    if (faults != nullptr)
+        tampered = faults->transformSnapshot(core, snap);
     auto delta = snap - cs.lastSnap;
 
     // "Do no harm" compensation: the period contains the events the
@@ -69,6 +97,12 @@ Sampler::takeSample(sim::CoreId core, SampleTrigger trigger,
         delta.l2Misses =
             std::max(0.0, delta.l2Misses - comp.l2Misses);
     }
+
+    // Degrade gracefully, never silently: corrupted or saturated
+    // reads are clamped to a defined value and the period is flagged
+    // suspect rather than recorded as garbage.
+    if (faults != nullptr && sanitizeDelta(delta))
+        tampered = true;
 
     const os::RequestId req = kernel.currentRequest(core);
 
@@ -86,6 +120,13 @@ Sampler::takeSample(sim::CoreId core, SampleTrigger trigger,
         p.l2Misses = delta.l2Misses;
         p.wallStart = cs.lastTick;
         p.trigger = trigger;
+        p.gapBefore = cs.gapPending;
+        p.suspect = tampered;
+        if (cs.gapPending)
+            ++sstats.gapCount;
+        if (tampered)
+            ++sstats.suspectCount;
+        cs.gapPending = false;
 
         if (cfg.recordTimelines && req != os::InvalidRequestId) {
             const auto idx = static_cast<std::size_t>(req);
@@ -127,7 +168,10 @@ Sampler::takeSample(sim::CoreId core, SampleTrigger trigger,
     // Note: the snapshot was read before the injection, so the
     // injected events appear in the next period's delta (and the
     // compensation above removes their floor).
-    cs.lastSnap = machine.counters(core).snapshot();
+    auto endSnap = machine.counters(core).snapshot();
+    if (faults != nullptr)
+        faults->transformSnapshot(core, endSnap);
+    cs.lastSnap = endSnap;
     cs.lastTick = kernel.now();
     cs.lastCtx = ctx;
     cs.hasPrev = true;
@@ -141,6 +185,21 @@ Sampler::onRequestSwitch(sim::CoreId core, os::RequestId out,
     (void)in;
     takeSample(core, SampleTrigger::ContextSwitch,
                SampleContext::InKernel);
+}
+
+IrqFate
+Sampler::counterIrqFate(sim::CoreId core)
+{
+    if (faults == nullptr)
+        return IrqFate::Deliver;
+    const IrqFate fate = faults->onCounterIrq(core);
+    if (fate == IrqFate::Drop) {
+        ++sstats.droppedInterrupts;
+        coreState[core].gapPending = true;
+    } else if (fate == IrqFate::Coalesce) {
+        ++sstats.coalescedInterrupts;
+    }
+    return fate;
 }
 
 // ---------------------------------------------------------------------
@@ -163,6 +222,31 @@ InterruptSampler::arm(sim::CoreId core)
 {
     machine.armCycleTimer(core, sim::usToCycles(cfg.periodUs),
                           [this, core] {
+                              switch (counterIrqFate(core)) {
+                                case IrqFate::Drop:
+                                  // Lost outright: no sample, the
+                                  // running period silently spans two
+                                  // nominal ones; the next recorded
+                                  // period carries the gap flag.
+                                  arm(core);
+                                  return;
+                                case IrqFate::Coalesce:
+                                  // Deferred delivery: the merged
+                                  // interrupt fires late.
+                                  machine.armCycleTimer(
+                                      core,
+                                      sim::usToCycles(cfg.periodUs) / 4,
+                                      [this, core] {
+                                          takeSample(
+                                              core,
+                                              SampleTrigger::Interrupt,
+                                              SampleContext::Interrupt);
+                                          arm(core);
+                                      });
+                                  return;
+                                case IrqFate::Deliver:
+                                  break;
+                              }
                               takeSample(core, SampleTrigger::Interrupt,
                                          SampleContext::Interrupt);
                               arm(core);
@@ -189,6 +273,22 @@ SyscallSampler::armBackup(sim::CoreId core)
 {
     machine.armCycleTimer(
         core, sim::usToCycles(cfg.backupUs), [this, core] {
+            switch (counterIrqFate(core)) {
+              case IrqFate::Drop:
+                armBackup(core);
+                return;
+              case IrqFate::Coalesce:
+                machine.armCycleTimer(
+                    core, sim::usToCycles(cfg.backupUs) / 4,
+                    [this, core] {
+                        takeSample(core, SampleTrigger::BackupInterrupt,
+                                   SampleContext::Interrupt);
+                        armBackup(core);
+                    });
+                return;
+              case IrqFate::Deliver:
+                break;
+            }
             takeSample(core, SampleTrigger::BackupInterrupt,
                        SampleContext::Interrupt);
             armBackup(core);

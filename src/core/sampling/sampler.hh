@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/sampling/faults.hh"
 #include "core/sampling/observer.hh"
 #include "core/timeline.hh"
 #include "os/kernel.hh"
@@ -64,6 +65,13 @@ struct SamplerStats
 
     /** Total injected observer cycles (the sampling overhead). */
     double overheadCycles = 0.0;
+
+    // Degraded-telemetry accounting (all zero without fault
+    // injection; see core/sampling/faults.hh).
+    std::uint64_t droppedInterrupts = 0;   ///< Lost counter IRQs.
+    std::uint64_t coalescedInterrupts = 0; ///< Deferred counter IRQs.
+    std::uint64_t gapCount = 0;     ///< Periods following a known gap.
+    std::uint64_t suspectCount = 0; ///< Periods from tampered reads.
 
     std::uint64_t
     totalSamples() const
@@ -124,7 +132,21 @@ class Sampler : public os::KernelHooks
     void onRequestSwitch(sim::CoreId core, os::RequestId out,
                          os::RequestId in) override;
 
+    /**
+     * Attach a fault-injection layer (null detaches). When null —
+     * the default — the sampler never consults it and behaves
+     * byte-identically to a build without the fi layer.
+     */
+    void setFaults(SamplingFaults *f) { faults = f; }
+
   protected:
+    /**
+     * Consult the fault layer about a counter interrupt about to
+     * fire; updates the degraded-telemetry stats and marks the
+     * pending gap on a drop.
+     */
+    IrqFate counterIrqFate(sim::CoreId core);
+
     /**
      * Take one sample on a core: close the current period, attribute
      * it to the request in context, inject the observer cost.
@@ -139,6 +161,7 @@ class Sampler : public os::KernelHooks
     sim::Machine &machine;
     SamplerConfig cfg;
     SamplerStats sstats;
+    SamplingFaults *faults = nullptr;
 
   private:
     struct CoreSampleState
@@ -147,6 +170,7 @@ class Sampler : public os::KernelHooks
         sim::Tick lastTick = 0;
         SampleContext lastCtx = SampleContext::InKernel;
         bool hasPrev = false; ///< A prior sample injected overhead.
+        bool gapPending = false; ///< A sampling gap awaits flagging.
     };
 
     std::vector<CoreSampleState> coreState;

@@ -42,6 +42,12 @@ struct Period
     sim::Tick wallStart = 0;
     SampleTrigger trigger = SampleTrigger::ContextSwitch;
 
+    // Degraded-telemetry flags (always false without fault
+    // injection). Consumers see the gap/corruption instead of a
+    // silently interpolated period.
+    bool gapBefore = false; ///< A sampling gap precedes this period.
+    bool suspect = false;   ///< Built from tampered counter reads.
+
     double
     cpi() const
     {

@@ -135,6 +135,9 @@ const std::pair<const char *, const char *> FlagCatalogue[] = {
     {"app", "application to simulate (web|tpcc|tpch|rubis|webwork)"},
     {"bank", "signature-bank size per application (requests)"},
     {"csv", "also write the per-request records as CSV to this path"},
+    {"faults", "fault-injection plan, e.g. "
+               "\"irq-drop(p=0.2);req-stuck(p=0.05,mult=4)\" "
+               "(see docs/FAULTS.md)"},
     {"help", "print this flag documentation and exit"},
     {"jobs", "worker threads for independent simulations "
              "(0 = hardware concurrency)"},
@@ -146,6 +149,8 @@ const std::pair<const char *, const char *> FlagCatalogue[] = {
     {"prof", "print the obs top-N self-profile table to stderr"},
     {"quiet", "suppress per-job progress lines on stderr"},
     {"requests", "requests to simulate per run"},
+    {"retries", "extra attempts per failing job before it is marked "
+                "failed"},
     {"rows", "rows of the per-request behavior table to print"},
     {"rubis", "RUBiS requests for the mixed-workload phase"},
     {"runs", "seed replicates per configuration"},

@@ -5,6 +5,7 @@
 
 #include "exp/runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <mutex>
@@ -151,6 +152,7 @@ runnerOptions(const Cli &cli)
     RunnerOptions opts;
     opts.jobs = static_cast<int>(cli.getInt("jobs", 0));
     opts.progress = !cli.getBool("quiet", false);
+    opts.maxRetries = static_cast<int>(cli.getInt("retries", 0));
     return opts;
 }
 
@@ -232,8 +234,37 @@ ParallelRunner::run(const std::vector<Job> &jobs) const
             // trace process, named by the job key.
             const obs::ScopedSimProcess proc(
                 static_cast<std::uint32_t>(2 + i), job.key);
-            slot.result = job.body ? job.body(job.config)
-                                   : runScenario(job.config);
+
+            // Job-boundary failure contract: a throwing body is
+            // retried (bounded, with linear backoff), then recorded
+            // as a failed slot — one poisoned job never takes down
+            // the sweep.
+            const int max_attempts = 1 + std::max(0, opts.maxRetries);
+            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+                slot.attempts = attempt;
+                try {
+                    slot.result = job.body ? job.body(job.config)
+                                           : runScenario(job.config);
+                    slot.failed = false;
+                    slot.error.clear();
+                    break;
+                } catch (const std::exception &e) {
+                    slot.failed = true;
+                    slot.error = e.what();
+                } catch (...) {
+                    slot.failed = true;
+                    slot.error = "non-standard exception";
+                }
+                if (attempt == max_attempts)
+                    break;
+                // Host-side wait only; job bodies are deterministic
+                // in simulated time, so backoff never alters results.
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        opts.backoffMs * attempt));
+            }
+            if (slot.failed)
+                slot.result = ScenarioResult{};
         }
         slot.seconds =
             std::chrono::duration<double>(
@@ -247,11 +278,23 @@ ParallelRunner::run(const std::vector<Job> &jobs) const
         if (opts.progress) {
             std::lock_guard<std::mutex> lock(log_mutex);
             log << "[" << finished << "/" << jobs.size() << "] "
-                << job.key << "  "
-                << static_cast<int>(slot.seconds * 100.0) / 100.0
+                << job.key << "  ";
+            if (slot.failed) {
+                log << "FAILED after " << slot.attempts
+                    << " attempt(s): " << slot.error << "  ";
+            }
+            log << static_cast<int>(slot.seconds * 100.0) / 100.0
                 << "s\n";
         }
     });
+
+    std::size_t failed = 0;
+    for (const auto &r : results)
+        failed += r.failed ? 1 : 0;
+    if (failed > 0 && opts.progress) {
+        log << "engine: " << failed << "/" << jobs.size()
+            << " job(s) failed; the report is degraded\n";
+    }
     return results;
 }
 
@@ -262,6 +305,66 @@ resultFor(const std::vector<JobResult> &results, const std::string &key)
         if (r.key == key)
             return r.result;
     throw std::out_of_range("no job result with key " + key);
+}
+
+const ScenarioResult *
+tryResultFor(const std::vector<JobResult> &results,
+             const std::string &key)
+{
+    for (const auto &r : results)
+        if (r.key == key)
+            return r.failed ? nullptr : &r.result;
+    return nullptr;
+}
+
+int
+exitCodeFor(const std::vector<JobResult> &results)
+{
+    for (const auto &r : results)
+        if (r.failed)
+            return 3;
+    return 0;
+}
+
+void
+applyJobFaults(std::vector<Job> &jobs, const fi::FaultPlan &plan,
+               std::uint64_t seed)
+{
+    const fi::FaultSpec *crash = plan.find(fi::FaultKind::JobCrash);
+    const fi::FaultSpec *timeout = plan.find(fi::FaultKind::JobTimeout);
+    if (crash == nullptr && timeout == nullptr)
+        return;
+
+    for (Job &job : jobs) {
+        const std::uint64_t id = fi::stringHash64(job.key);
+        if (crash != nullptr &&
+            fi::unitIntervalHash(seed, 0xC4A5, id) <
+                crash->param("p", 0.2)) {
+            job.body = [key = job.key](const ScenarioConfig &)
+                -> ScenarioResult {
+                throw fi::InjectedFault("injected job crash (" + key +
+                                        ")");
+            };
+            continue;
+        }
+        if (timeout != nullptr &&
+            fi::unitIntervalHash(seed, 0x7E0F, id) <
+                timeout->param("p", 0.2)) {
+            auto inner = job.body;
+            job.body = [inner, key = job.key](const ScenarioConfig &c)
+                -> ScenarioResult {
+                // Worst-case timeout: the work runs to completion,
+                // then the deadline supervisor declares it overdue —
+                // full cost, no result.
+                if (inner)
+                    inner(c);
+                else
+                    runScenario(c);
+                throw fi::InjectedFault("injected job timeout (" + key +
+                                        ")");
+            };
+        }
+    }
 }
 
 } // namespace rbv::exp

@@ -61,6 +61,17 @@ struct JobResult
     std::string key;
     ScenarioResult result;
     double seconds = 0.0; ///< Host wall time of this job.
+
+    /**
+     * The job-boundary failure contract: a body that throws is caught
+     * here (after the configured retries), recorded, and never takes
+     * down the rest of the sweep. A failed slot carries a
+     * default-constructed result and must be skipped by consumers
+     * (see tryResultFor / exitCodeFor).
+     */
+    bool failed = false;
+    std::string error; ///< what() of the last attempt's exception.
+    int attempts = 1;  ///< Attempts consumed (1 = no retry needed).
 };
 
 /**
@@ -134,9 +145,15 @@ struct RunnerOptions
 
     /** Progress sink; null means std::cerr. */
     std::ostream *log = nullptr;
+
+    /** Extra attempts for a job whose body throws (bounded retry). */
+    int maxRetries = 0;
+
+    /** Host-side backoff before retry i is i * backoffMs. */
+    double backoffMs = 50.0;
 };
 
-/** Standard engine flags: --jobs N and --quiet. */
+/** Standard engine flags: --jobs N, --quiet, and --retries N. */
 RunnerOptions runnerOptions(const Cli &cli);
 
 /**
@@ -185,6 +202,29 @@ class ParallelRunner
  */
 const ScenarioResult &resultFor(const std::vector<JobResult> &results,
                                 const std::string &key);
+
+/**
+ * Like resultFor(), but null when the key is absent OR the job
+ * failed: the partial-result path for degraded sweeps.
+ */
+const ScenarioResult *tryResultFor(const std::vector<JobResult> &results,
+                                   const std::string &key);
+
+/**
+ * Process exit code for a sweep: 0 when every job succeeded, 3 when
+ * any job failed and the report is degraded (2 is taken by CLI usage
+ * errors).
+ */
+int exitCodeFor(const std::vector<JobResult> &results);
+
+/**
+ * Apply the exp-layer injectors (job-crash / job-timeout) of a fault
+ * plan to a job list: selected jobs (a deterministic per-key lottery
+ * on @p seed) get a throwing body. No-op for plans without job
+ * faults.
+ */
+void applyJobFaults(std::vector<Job> &jobs, const fi::FaultPlan &plan,
+                    std::uint64_t seed);
 
 } // namespace rbv::exp
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "fi/session.hh"
 #include "obs/obs.hh"
 #include "wl/server.hh"
 
@@ -156,12 +157,24 @@ runScenario(const ScenarioConfig &cfg)
             kernel, cfg.monitorThreshold);
     }
 
+    // --- Fault injection (dormant without a plan) ---
+    std::unique_ptr<fi::FaultSession> faultSession;
+    if (cfg.faults && cfg.faults->hasScenarioFaults()) {
+        faultSession =
+            std::make_unique<fi::FaultSession>(*cfg.faults, cfg.seed);
+        faultSession->attach(kernel);
+        if (sampler)
+            sampler->setFaults(faultSession.get());
+    }
+
     // --- Run ---
     kernel.start();
     if (sampler)
         sampler->start();
     if (monitor)
         monitor->start();
+    if (faultSession)
+        faultSession->start();
     driver.start();
     eq.runUntil(cfg.maxTicks);
 
@@ -175,6 +188,8 @@ runScenario(const ScenarioConfig &cfg)
         result.contention = monitor->stats();
     if (gapCollector)
         result.syscallGaps = std::move(gapCollector->gaps);
+    if (faultSession)
+        result.injections = faultSession->takeLog();
     for (sim::CoreId c = 0; c < machine.numCores(); ++c)
         result.busyCycles += machine.counters(c).snapshot().cycles;
 

@@ -19,6 +19,7 @@
 
 #include "core/sampling/sampler.hh"
 #include "core/sched/contention.hh"
+#include "fi/injection.hh"
 #include "os/kernel.hh"
 #include "wl/apps.hh"
 
@@ -100,6 +101,14 @@ struct ScenarioConfig
 
     /** Hard wall-clock cap in cycles. */
     sim::Tick maxTicks = sim::msToCycles(600.0 * 1000.0);
+
+    /**
+     * Fault-injection plan (rbv::fi); null = no faults. The plan is
+     * immutable and may be shared across grid jobs; each run builds
+     * a private FaultSession seeded from this scenario's seed, so
+     * injections are deterministic at any --jobs level.
+     */
+    std::shared_ptr<const fi::FaultPlan> faults;
 };
 
 /** Everything recorded about one completed request. */
@@ -155,6 +164,9 @@ struct ScenarioResult
     sim::Tick wallCycles = 0;
     double busyCycles = 0.0;
     std::vector<SyscallGap> syscallGaps;
+
+    /** Deterministic injection log (empty without a fault plan). */
+    std::vector<fi::Injection> injections;
 
     /** Injected sampling cycles / total busy cycles. */
     double

@@ -1,0 +1,42 @@
+#include "fi/eval.hh"
+
+#include <cstdint>
+
+namespace rbv::fi {
+
+RankedDetection evaluateRanking(const std::vector<bool> &isTruthByRank)
+{
+    RankedDetection out;
+    out.scored = isTruthByRank.size();
+    for (const bool truth : isTruthByRank)
+        out.truthCount += truth ? 1 : 0;
+    const std::size_t negatives = out.scored - out.truthCount;
+
+    const std::size_t k = out.truthCount;
+    for (std::size_t i = 0; i < k && i < out.scored; ++i)
+        out.hits += isTruthByRank[i] ? 1 : 0;
+    if (k > 0) {
+        out.precision =
+            static_cast<double>(out.hits) / static_cast<double>(k);
+        out.recall = out.precision; // K == truthCount by construction.
+    }
+
+    if (out.truthCount > 0 && negatives > 0) {
+        // Mann-Whitney: count (positive, negative) pairs where the
+        // positive outranks the negative; AUC is their fraction.
+        std::uint64_t positivesSeen = 0;
+        std::uint64_t concordant = 0;
+        for (const bool truth : isTruthByRank) {
+            if (truth)
+                ++positivesSeen;
+            else
+                concordant += positivesSeen;
+        }
+        out.rocAuc = static_cast<double>(concordant) /
+                     (static_cast<double>(out.truthCount) *
+                      static_cast<double>(negatives));
+    }
+    return out;
+}
+
+} // namespace rbv::fi

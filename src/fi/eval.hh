@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Detection-quality scoring against injected ground truth: given a
+ * detector's anomaly ranking and the set of requests the fi layer
+ * actually made anomalous, compute precision/recall at the oracle
+ * cutoff and the ROC AUC (Mann-Whitney rank statistic). This turns
+ * the anomaly figures from qualitative into measured.
+ */
+
+#ifndef RBV_FI_EVAL_HH
+#define RBV_FI_EVAL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace rbv::fi {
+
+/** Detection quality of a ranked anomaly scoring vs ground truth. */
+struct RankedDetection
+{
+    std::size_t scored = 0;     ///< Items that received a score.
+    std::size_t truthCount = 0; ///< Ground-truth positives among them.
+    std::size_t hits = 0;       ///< Positives inside the top-K cut.
+
+    /** Precision at K = truthCount (equals recall at that cutoff). */
+    double precision = 0.0;
+    double recall = 0.0;  ///< hits / truthCount.
+    double rocAuc = 0.5;  ///< Rank AUC; 0.5 when undefined.
+};
+
+/**
+ * Score a ranking. @p isTruthByRank lists, most-anomalous first,
+ * whether each scored item is a ground-truth positive. The cutoff K
+ * equals the number of positives (the oracle cutoff), at which
+ * precision and recall coincide. Degenerate inputs (no positives or
+ * no negatives) report precision/recall 0 and AUC 0.5.
+ */
+RankedDetection evaluateRanking(const std::vector<bool> &isTruthByRank);
+
+} // namespace rbv::fi
+
+#endif // RBV_FI_EVAL_HH

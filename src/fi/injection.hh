@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The injection log: a deterministic record of every fault the fi
+ * layer actually injected into a run. The log is the contract behind
+ * two guarantees:
+ *
+ *  - Determinism — the same seed and plan produce the identical log
+ *    at any `--jobs` level (tested by rendering logs with formatLog()
+ *    and comparing bytes).
+ *  - Ground truth — detector evaluation (precision/recall/ROC in
+ *    bench_fig08_09_anomaly) reads the requests that were actually
+ *    made anomalous from the log, not from the plan's probabilities.
+ */
+
+#ifndef RBV_FI_INJECTION_HH
+#define RBV_FI_INJECTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fi/plan.hh"
+#include "sim/types.hh"
+
+namespace rbv::fi {
+
+/** One injected fault occurrence. */
+struct Injection
+{
+    sim::Tick tick = 0;   ///< Simulated time of the injection.
+    FaultKind kind = FaultKind::IrqDrop;
+
+    /** Core id (sim faults) or request id (request faults). */
+    std::int64_t subject = -1;
+
+    /** Kind-specific size: multiplier, stall cycles, flipped bit... */
+    double magnitude = 0.0;
+};
+
+/** Render a log one line per injection (for determinism checks). */
+std::string formatLog(const std::vector<Injection> &log);
+
+/**
+ * Request ids targeted by request-level injectors (currently
+ * req-stuck), sorted and deduplicated: the anomaly ground truth.
+ */
+std::vector<std::int64_t> faultedRequests(const std::vector<Injection> &log);
+
+} // namespace rbv::fi
+
+#endif // RBV_FI_INJECTION_HH

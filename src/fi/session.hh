@@ -1,0 +1,102 @@
+/**
+ * @file
+ * FaultSession: the live fault injector for one scenario run. It
+ * implements the consumer-side fault surfaces (core::SamplingFaults,
+ * os::KernelFaults), arms the clock-scheduled injectors on the
+ * simulated clock, and keeps the deterministic injection log.
+ *
+ * Determinism: every probabilistic injector draws from its own RNG
+ * stream derived from the scenario seed (so enabling one fault never
+ * perturbs another's sequence), and per-entity selections (which
+ * requests are stuck, which jobs crash) use a stateless hash of
+ * (seed, entity id) — invariant across host thread counts. A session
+ * belongs to exactly one scenario run and is only touched from that
+ * run's single-threaded event loop.
+ */
+
+#ifndef RBV_FI_SESSION_HH
+#define RBV_FI_SESSION_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/sampling/faults.hh"
+#include "fi/injection.hh"
+#include "fi/plan.hh"
+#include "os/faults.hh"
+#include "os/kernel.hh"
+#include "stats/rng.hh"
+
+namespace rbv::fi {
+
+/** Live injector for one run; see file comment. */
+class FaultSession final : public core::SamplingFaults,
+                           public os::KernelFaults
+{
+  public:
+    FaultSession(const FaultPlan &plan, std::uint64_t seed);
+
+    /** Wire the kernel-side injectors; call before Kernel::start(). */
+    void attach(os::Kernel &kernel);
+
+    /**
+     * Arm clock-scheduled injectors (core-slow) on the simulated
+     * clock; call once the kernel has started.
+     */
+    void start();
+
+    // core::SamplingFaults
+    core::IrqFate onCounterIrq(sim::CoreId core) override;
+    bool transformSnapshot(sim::CoreId core,
+                           sim::CounterSnapshot &snap) override;
+
+    // os::KernelFaults
+    double execMultiplier(os::RequestId request) override;
+    double syscallStallCycles(os::RequestId request, os::Sys sys) override;
+    bool loseSwitchContext(sim::CoreId core) override;
+
+    /** The injection log, in injection order. */
+    const std::vector<Injection> &log() const { return injections; }
+
+    /** Move the log out (scenario result collection). */
+    std::vector<Injection> takeLog() { return std::move(injections); }
+
+  private:
+    void record(FaultKind kind, std::int64_t subject, double magnitude);
+    sim::Tick now() const;
+    void slowTick(sim::CoreId core, sim::Tick endTick,
+                  sim::Tick intervalTicks, double stallCycles);
+
+    FaultPlan plan;
+    std::uint64_t seed;
+    os::Kernel *kernel = nullptr;
+
+    // Cached spec lookups; null = that injector is disabled.
+    const FaultSpec *irqDrop;
+    const FaultSpec *irqCoalesce;
+    const FaultSpec *ctrSaturate;
+    const FaultSpec *ctrCorrupt;
+    const FaultSpec *coreSlow;
+    const FaultSpec *reqStuck;
+    const FaultSpec *sysStall;
+    const FaultSpec *ctxLoss;
+
+    // Independent RNG streams, one per probabilistic injector.
+    stats::Rng irqRng;
+    stats::Rng ctrRng;
+    stats::Rng sysRng;
+    stats::Rng ctxRng;
+
+    /** Stuck requests already logged (log once per request). */
+    std::unordered_set<std::int64_t> stuckLogged;
+
+    /** Per-core "saturation logged" latch (log once per core). */
+    std::vector<bool> saturationLogged;
+
+    std::vector<Injection> injections;
+};
+
+} // namespace rbv::fi
+
+#endif // RBV_FI_SESSION_HH

@@ -47,8 +47,12 @@ counterName(Counter c)
         return "sampling.overhead_cycles";
       case Counter::SchedContentionDeferrals:
         return "sched.contention_deferrals";
+      case Counter::SchedStaleFallbacks:
+        return "sched.stale_fallbacks";
       case Counter::ExpJobsCompleted:
         return "exp.jobs_completed";
+      case Counter::FiInjections:
+        return "fi.injections";
       case Counter::Count_:
         break;
     }

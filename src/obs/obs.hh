@@ -82,7 +82,9 @@ enum class Counter : std::uint16_t
     SamplingSamples,
     SamplingOverheadCycles,
     SchedContentionDeferrals,
+    SchedStaleFallbacks,
     ExpJobsCompleted,
+    FiInjections,
     Count_,
 };
 

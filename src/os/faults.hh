@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Kernel-side fault surface: the interface through which a fault
+ * injector (rbv::fi) perturbs request execution and kernel paths,
+ * without the os layer depending on the fi layer.
+ *
+ * The kernel consults this interface when dispatching a request's
+ * execution segment (stuck/looping requests re-execute their work),
+ * when servicing a system call (injected in-kernel stalls), and when
+ * switching the request context on a core (the per-core sampling
+ * context can be lost, as when a real kernel misses the hook). With
+ * no fault layer attached the kernel never touches this interface —
+ * the dormant path stays byte-identical.
+ */
+
+#ifndef RBV_OS_FAULTS_HH
+#define RBV_OS_FAULTS_HH
+
+#include "os/ids.hh"
+#include "os/syscall.hh"
+#include "sim/types.hh"
+
+namespace rbv::os {
+
+/**
+ * Fault hooks consulted by the kernel. All methods are called on the
+ * (single-threaded) simulation event loop of one scenario run, so
+ * implementations may keep per-run state without locking.
+ */
+class KernelFaults
+{
+  public:
+    virtual ~KernelFaults() = default;
+
+    /**
+     * Work multiplier for a request's next execution segment; 1.0 is
+     * no fault. A stuck/looping request returns > 1 for every
+     * segment, re-executing its work.
+     */
+    virtual double execMultiplier(RequestId request)
+    {
+        (void)request;
+        return 1.0;
+    }
+
+    /**
+     * Extra in-kernel cycles to stall this system call; 0 is no
+     * fault. The stall burns CPU on the calling core (it is visible
+     * to the counters) but performs no instructions.
+     */
+    virtual double syscallStallCycles(RequestId request, Sys sys)
+    {
+        (void)request;
+        (void)sys;
+        return 0.0;
+    }
+
+    /**
+     * Whether the request-switch notification on this core is lost.
+     * When true, kernel hooks (the sampler among them) do not observe
+     * the switch; accounting attribution itself stays exact.
+     */
+    virtual bool loseSwitchContext(sim::CoreId core)
+    {
+        (void)core;
+        return false;
+    }
+};
+
+} // namespace rbv::os
+
+#endif // RBV_OS_FAULTS_HH

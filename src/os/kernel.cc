@@ -209,8 +209,14 @@ Kernel::setCoreRequest(sim::CoreId core, RequestId next)
     if (cs.request == next)
         return;
     attribute(core);
-    for (auto *h : hooks)
-        h->onRequestSwitch(core, cs.request, next);
+    // An injected context loss drops the switch notification (the
+    // sampler among its consumers); attribution above stays exact.
+    if (faults != nullptr && faults->loseSwitchContext(core)) {
+        ++kstats.lostSwitchContexts;
+    } else {
+        for (auto *h : hooks)
+            h->onRequestSwitch(core, cs.request, next);
+    }
     cs.request = next;
 }
 
@@ -337,7 +343,12 @@ Kernel::runThread(sim::CoreId core, ThreadId tid)
             if (exec->instructions <= 0.0)
                 continue;
             t.workParams = exec->params;
-            mach.setWork(core, exec->params, exec->instructions);
+            double ins = exec->instructions;
+            // A stuck/looping request re-executes its work: the
+            // fault layer scales the segment (1.0 when dormant).
+            if (faults != nullptr)
+                ins *= faults->execMultiplier(t.request);
+            mach.setWork(core, exec->params, ins);
             return;
         }
         if (auto *sys = std::get_if<ActSyscall>(&a)) {
@@ -379,6 +390,17 @@ Kernel::handleSyscall(sim::CoreId core, ThreadId tid,
         args.kernelInstructions * args.kernelCpi,
         args.kernelInstructions, refs,
         refs * args.kernelMissRatio});
+
+    // Injected in-kernel stall: burns cycles on this core (visible
+    // to the counters) without retiring instructions.
+    if (faults != nullptr) {
+        const double stall = faults->syscallStallCycles(t.request, act.id);
+        if (stall > 0.0) {
+            mach.pushFixedWork(core,
+                               sim::FixedWork{stall, 0.0, 0.0, 0.0});
+            kstats.faultStallCycles += stall;
+        }
+    }
 
     switch (args.behavior) {
       case SysBehavior::Plain:

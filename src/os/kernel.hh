@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "os/faults.hh"
 #include "os/hooks.hh"
 #include "os/ids.hh"
 #include "os/request.hh"
@@ -58,6 +59,10 @@ struct KernelStats
     std::uint64_t reschedSwitches = 0;
     std::uint64_t syscalls = 0;
     std::uint64_t wakeups = 0;
+
+    // Fault-injection accounting (zero without a fault layer).
+    std::uint64_t lostSwitchContexts = 0; ///< Lost switch hooks.
+    double faultStallCycles = 0.0; ///< Injected syscall stall cycles.
 };
 
 /**
@@ -92,6 +97,13 @@ class Kernel : public sim::CoreClient
 
     /** Register an instrumentation hook (not owned). */
     void addHooks(KernelHooks *hooks);
+
+    /**
+     * Attach a fault-injection layer (null detaches; not owned).
+     * When null — the default — the kernel never consults it and
+     * behaves byte-identically to a build without the fi layer.
+     */
+    void setFaults(KernelFaults *f) { faults = f; }
 
     /** Distribute threads over runqueues and start dispatching. */
     void start();
@@ -242,6 +254,7 @@ class Kernel : public sim::CoreClient
     std::vector<CoreSched> coreSched;
     std::vector<RequestInfo> reqs;
     std::vector<KernelHooks *> hooks;
+    KernelFaults *faults = nullptr;
 
     std::size_t numCompleted = 0;
     bool started = false;

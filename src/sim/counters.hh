@@ -33,6 +33,35 @@ enum class HwEvent
 constexpr int NumGeneralCounters = 2;
 
 /**
+ * Architectural width of a counter register read, in bits. The
+ * Core-2-era fixed and general counters are 40 bits wide.
+ */
+constexpr int CounterRegisterBits = 40;
+
+/** Largest value a counter register read can report. */
+constexpr std::uint64_t CounterRegisterMax =
+    (std::uint64_t{1} << CounterRegisterBits) - 1;
+
+/**
+ * Convert a continuous counter total to its integer register read.
+ * The pinned semantics are CLAMP, not wrap: a total past the
+ * register width reads as "pegged at max", which samplers can detect
+ * as saturation, instead of silently restarting from zero and faking
+ * a plausible small value. Negative and non-finite totals read zero
+ * (impossible on real hardware, but a fault-injected read must still
+ * produce a defined register value).
+ */
+constexpr std::uint64_t
+toCounterRegister(double total)
+{
+    if (!(total > 0.0))
+        return 0;
+    if (total >= static_cast<double>(CounterRegisterMax))
+        return CounterRegisterMax;
+    return static_cast<std::uint64_t>(total);
+}
+
+/**
  * Snapshot of the event totals a sampler reads.
  *
  * Values are continuous (double) internally; integer register views
@@ -122,21 +151,21 @@ class PerfCounters
     std::uint64_t
     fixedCycles() const
     {
-        return static_cast<std::uint64_t>(totals.cycles);
+        return toCounterRegister(totals.cycles);
     }
 
     /** Fixed counter 1: retired instructions. */
     std::uint64_t
     fixedInstructions() const
     {
-        return static_cast<std::uint64_t>(totals.instructions);
+        return toCounterRegister(totals.instructions);
     }
 
     /** General counter register view per its programmed selector. */
     std::uint64_t
     general(int counter) const
     {
-        return static_cast<std::uint64_t>(eventValue(selectors[counter]));
+        return toCounterRegister(eventValue(selectors[counter]));
     }
 
     /** Continuous value of an event per the accrued totals. */

@@ -25,8 +25,8 @@ namespace {
  * when the catalogue entry is missing.
  */
 const std::vector<std::string> BinaryFlags = {
-    "app",  "bank",    "csv",  "jobs", "k",    "ms",
-    "no-hist", "quiet", "requests", "rows", "rubis", "runs",
+    "app",  "bank",    "csv",  "faults", "jobs", "k",    "ms",
+    "no-hist", "quiet", "requests", "retries", "rows", "rubis", "runs",
     "seed", "tpch",    "webwork-requests",
 };
 

@@ -212,6 +212,84 @@ TEST(ContentionPolicy, StarvationGuardBoundsDeferrals)
               0u);
 }
 
+TEST(ContentionPolicy, FreshnessDisabledByDefault)
+{
+    // stalenessTicks <= 0 (the default) disables expiry: predictions
+    // are trusted forever and no stale fallbacks are counted.
+    ContentionEasingPolicy policy;
+    EXPECT_TRUE(policy.isFresh(3, 0));
+    policy.noteObserved(3, 0);
+    EXPECT_TRUE(policy.isFresh(3, sim::msToCycles(1e6)));
+    EXPECT_EQ(policy.staleSuppressions(), 0u);
+}
+
+TEST(ContentionPolicy, StalenessHorizonExpiresPredictions)
+{
+    ContentionConfig cc;
+    cc.stalenessTicks = 1000.0;
+    ContentionEasingPolicy policy(cc);
+
+    // Threads beyond the observation table are treated as fresh (no
+    // prediction to distrust).
+    EXPECT_TRUE(policy.isFresh(7, 5000));
+    policy.noteObserved(7, 4500);
+    EXPECT_TRUE(policy.isFresh(7, 5000));  // age 500
+    EXPECT_TRUE(policy.isFresh(7, 5500));  // age 1000, inclusive
+    EXPECT_FALSE(policy.isFresh(7, 6000)); // age 1500
+    EXPECT_TRUE(policy.isFresh(InvalidThreadId, 6000));
+}
+
+TEST(ContentionPolicy, StaleHighPredictionFallsBackToDefault)
+{
+    // Under sampling-context loss the policy stops hearing about a
+    // thread; once its prediction ages past the horizon the scheduler
+    // must stop easing around it (graceful fallback to default
+    // co-scheduling) instead of trusting stale data forever.
+    ContentionConfig cc;
+    cc.stalenessTicks = static_cast<double>(sim::msToCycles(1.0));
+    auto policy = std::make_shared<ContentionEasingPolicy>(cc);
+    Rig rig(policy, 2);
+    const ProcessId p = rig.kernel.createProcess("p");
+    std::vector<ThreadId> tids;
+    for (int i = 0; i < 4; ++i)
+        tids.push_back(rig.kernel.createThread(
+            p, std::make_unique<wl::MbenchLogic>(wl::Mbench::Data)));
+    rig.kernel.start();
+    rig.eq.runUntil(sim::msToCycles(2.0));
+
+    const ThreadId on_core1 = rig.kernel.runningThread(1);
+    ASSERT_NE(on_core1, InvalidThreadId);
+    feed(*policy, on_core1, true);
+
+    ThreadId high_cand = InvalidThreadId, low_cand = InvalidThreadId;
+    for (ThreadId t : tids) {
+        if (t == on_core1 || t == rig.kernel.runningThread(0))
+            continue;
+        if (high_cand == InvalidThreadId)
+            high_cand = t;
+        else
+            low_cand = t;
+    }
+    feed(*policy, high_cand, true);
+    feed(*policy, low_cand, false);
+
+    // All predictions freshly stamped: the policy eases as usual.
+    const sim::Tick now = rig.kernel.now();
+    policy->noteObserved(on_core1, now);
+    policy->noteObserved(high_cand, now);
+    policy->noteObserved(low_cand, now);
+    EXPECT_EQ(policy->pickNext(rig.kernel, 0, {high_cand, low_cand}),
+              1u);
+    EXPECT_EQ(policy->staleSuppressions(), 0u);
+
+    // Age the other core's prediction past the horizon: its "high"
+    // reading is no longer trusted, so the head runs.
+    policy->noteObserved(on_core1, 0);
+    EXPECT_EQ(policy->pickNext(rig.kernel, 0, {high_cand, low_cand}),
+              0u);
+    EXPECT_GT(policy->staleSuppressions(), 0u);
+}
+
 TEST(ContentionPolicy, ReschedIntervalIs5ms)
 {
     ContentionEasingPolicy policy;

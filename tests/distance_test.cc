@@ -231,6 +231,13 @@ TEST(LengthPenalty, EmptyInputSafe)
     EXPECT_DOUBLE_EQ(lengthPenalty({MetricSeries{}}, rng), 0.0);
 }
 
+TEST(LengthPenalty, ZeroSamplePairsRequested)
+{
+    std::vector<MetricSeries> series(3, MetricSeries{0.0, 10.0});
+    stats::Rng rng(29);
+    EXPECT_DOUBLE_EQ(lengthPenalty(series, rng, 0.9, 0), 0.0);
+}
+
 TEST(MeasureNames, Defined)
 {
     EXPECT_STREQ(measureName(Measure::DtwAsyncPenalty),

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/predict/predictor.hh"
 #include "stats/rng.hh"
@@ -125,6 +126,92 @@ TEST(Predictors, Names)
     EXPECT_EQ(LastValuePredictor().name(), "Last value");
     EXPECT_EQ(EwmaPredictor(0.6).name(), "EWMA a=0.6");
     EXPECT_EQ(VaEwmaPredictor(0.3, 1.0).name(), "vaEWMA a=0.3");
+}
+
+// ------------------------------------ corrupted-telemetry guards
+
+TEST(Predictors, NonFiniteObservationsAreIgnored)
+{
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+
+    RequestAveragePredictor avg;
+    avg.observe(1.0, 4.0);
+    avg.observe(nan, 100.0);
+    avg.observe(1.0, nan);
+    avg.observe(-5.0, 100.0); // non-positive window
+    EXPECT_DOUBLE_EQ(avg.predict(), 4.0);
+
+    LastValuePredictor last;
+    last.observe(1.0, 3.0);
+    last.observe(1.0, inf);
+    EXPECT_DOUBLE_EQ(last.predict(), 3.0);
+
+    EwmaPredictor ewma(0.5);
+    ewma.observe(1.0, 8.0);
+    ewma.observe(1.0, nan);
+    EXPECT_DOUBLE_EQ(ewma.predict(), 8.0);
+
+    VaEwmaPredictor va(0.6, 1.0);
+    va.observe(1.0, 2.0);
+    va.observe(1.0, -inf);
+    EXPECT_DOUBLE_EQ(va.predict(), 2.0);
+}
+
+TEST(VaEwma, DegenerateWindowLengthsDoNotAmplifyHistory)
+{
+    // A negative or non-finite window length must not yield
+    // alpha^(t/t_hat) > 1 (amplifying history) or NaN; it falls back
+    // to plain-alpha aging.
+    VaEwmaPredictor p(0.6, 100.0);
+    p.observe(100.0, 10.0);
+    p.observe(-50.0, 0.0);
+    EXPECT_TRUE(std::isfinite(p.predict()));
+    EXPECT_DOUBLE_EQ(p.predict(), 0.6 * 10.0);
+    p.observe(std::nan(""), 0.0);
+    EXPECT_TRUE(std::isfinite(p.predict()));
+    EXPECT_LE(p.predict(), 10.0);
+}
+
+TEST(Fallback, DegradesDownTheChainAndRecovers)
+{
+    FallbackPredictor::Config cfg;
+    cfg.staleAfterMisses = 2;
+    FallbackPredictor p(cfg);
+    EXPECT_STREQ(p.activeLevel(), "none");
+
+    p.observe(1.0, 4.0);
+    p.observe(1.0, 6.0);
+    EXPECT_STREQ(p.activeLevel(), "vaEWMA");
+
+    p.observeMissed(); // one dropped window: last-value
+    EXPECT_STREQ(p.activeLevel(), "last");
+    EXPECT_DOUBLE_EQ(p.predict(), 6.0);
+
+    p.observeMissed();
+    p.observeMissed(); // past staleAfterMisses: request average
+    EXPECT_STREQ(p.activeLevel(), "avg");
+    EXPECT_DOUBLE_EQ(p.predict(), 5.0); // (4 + 6) / 2, unit windows
+    EXPECT_EQ(p.missedWindows(), 3u);
+
+    p.observe(1.0, 8.0); // telemetry recovers
+    EXPECT_STREQ(p.activeLevel(), "vaEWMA");
+}
+
+TEST(Fallback, AlwaysFiniteAndClamped)
+{
+    FallbackPredictor p;
+    EXPECT_DOUBLE_EQ(p.predict(), 0.0); // never observed
+
+    p.observe(std::nan(""), std::nan("")); // counts as a miss
+    EXPECT_EQ(p.missedWindows(), 1u);
+    EXPECT_TRUE(std::isfinite(p.predict()));
+
+    p.observe(1.0, 1e30); // clamped at clampHi
+    EXPECT_DOUBLE_EQ(p.predict(), 1e12);
+    p.reset();
+    EXPECT_STREQ(p.activeLevel(), "none");
+    EXPECT_DOUBLE_EQ(p.predict(), 0.0);
 }
 
 TEST(Predictors, VaEwmaTracksPhaseChangeFasterThanAverage)

@@ -1,0 +1,34 @@
+// R6 fixture: catch (...) blocks that swallow the exception.
+
+int
+empty_swallow()
+{
+    try {
+        work();
+    } catch (...) {
+    }
+    return 0;
+}
+
+int
+swallow_with_return()
+{
+    try {
+        work();
+    } catch (...) {
+        return -1;
+    }
+    return 0;
+}
+
+void
+swallow_in_loop()
+{
+    for (int i = 0; i < 4; ++i) {
+        try {
+            work();
+        } catch (...) {
+            continue;
+        }
+    }
+}

@@ -1,0 +1,43 @@
+// R6 fixture: catch blocks that handle, record, or rethrow.
+
+void
+rethrows()
+{
+    try {
+        work();
+    } catch (...) {
+        throw;
+    }
+}
+
+bool
+records_failure()
+{
+    bool failed = false;
+    try {
+        work();
+    } catch (...) {
+        failed = true;
+    }
+    return failed;
+}
+
+void
+calls_handler()
+{
+    try {
+        work();
+    } catch (...) {
+        reportFailure();
+    }
+}
+
+void
+typed_catch_is_fine()
+{
+    try {
+        work();
+    } catch (const std::exception &e) {
+        (void)e;
+    }
+}

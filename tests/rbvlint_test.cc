@@ -102,6 +102,9 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"r4_good.hh", "src/sim/fixture.hh", nullptr, 0},
         FixtureCase{"r5_bad.hh", "src/sim/fixture.hh", "R5-units", 3},
         FixtureCase{"r5_good.hh", "src/sim/fixture.hh", nullptr, 0},
+        FixtureCase{"r6_bad.cc", "src/core/fixture.cc", "R6-swallow",
+                    3},
+        FixtureCase{"r6_good.cc", "src/core/fixture.cc", nullptr, 0},
         FixtureCase{"allow_inline.cc", "src/sim/fixture.cc", nullptr,
                     0}),
     [](const auto &info) {
@@ -172,7 +175,7 @@ TEST(RuleIds, SpecMatchingAcceptsAllSpellings)
         rbvlint::ruleMatches("R2-global-state", "R2-global-state"));
     EXPECT_FALSE(rbvlint::ruleMatches("R1", "R2-global-state"));
     EXPECT_FALSE(rbvlint::ruleMatches("units", "R2-global-state"));
-    EXPECT_EQ(rbvlint::allRules().size(), 5u);
+    EXPECT_EQ(rbvlint::allRules().size(), 6u);
 }
 
 TEST(Determinism, RepeatedLintsAreIdentical)

@@ -227,6 +227,59 @@ TEST(ParallelRunner, ProgressGoesToTheLogStreamOnly)
     EXPECT_GE(results[0].seconds, 0.0);
 }
 
+TEST(ParallelRunner, PoisonedJobDoesNotKillTheSweep)
+{
+    // Job-boundary failure contract: a throwing body is retried the
+    // configured number of times, recorded as a failed slot, and the
+    // other jobs complete untouched.
+    ScenarioConfig base;
+    base.app = wl::App::Tpcc;
+    base.seed = 17;
+    base.requests = 20;
+    base.warmup = 2;
+    base.numCores = 1;
+    ScenarioGrid grid(base);
+    grid.replicates(4);
+    auto jobs = grid.jobs();
+    ASSERT_EQ(jobs.size(), 4u);
+    jobs[1].body = [](const ScenarioConfig &) -> ScenarioResult {
+        throw std::runtime_error("poisoned job body");
+    };
+
+    std::ostringstream log;
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.log = &log;
+    opts.maxRetries = 1;
+    opts.backoffMs = 0.0;
+    const auto results = ParallelRunner(opts).run(jobs);
+
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[1].failed);
+    EXPECT_NE(results[1].error.find("poisoned job body"),
+              std::string::npos);
+    EXPECT_EQ(results[1].attempts, 2); // 1 try + 1 retry
+    EXPECT_EQ(tryResultFor(results, jobs[1].key), nullptr);
+
+    for (std::size_t i : {std::size_t{0}, std::size_t{2},
+                          std::size_t{3}}) {
+        SCOPED_TRACE("job " + results[i].key);
+        EXPECT_FALSE(results[i].failed);
+        EXPECT_EQ(results[i].attempts, 1);
+        const ScenarioResult *r =
+            tryResultFor(results, results[i].key);
+        ASSERT_NE(r, nullptr);
+        EXPECT_FALSE(r->records.empty());
+    }
+
+    // Degraded exit code and a degraded-report note on the log.
+    EXPECT_EQ(exitCodeFor(results), 3);
+    EXPECT_NE(log.str().find("FAILED after 2 attempt(s)"),
+              std::string::npos);
+    EXPECT_NE(log.str().find("report is degraded"),
+              std::string::npos);
+}
+
 TEST(ParallelRunner, ResultForFindsKeysAndThrowsOnMiss)
 {
     std::vector<JobResult> results(2);

@@ -117,6 +117,58 @@ TEST(SignatureBank, StoresCpuCyclesForPrediction)
     EXPECT_EQ(bank.size(), 1u);
 }
 
+// ------------------------------------------- confidence-scored matching
+
+TEST(SignatureBank, ConfidenceHighOnCleanMatch)
+{
+    SignatureBank bank(1000.0);
+    for (int c = 0; c < 5; ++c)
+        bank.add(shapeOf(c, 50), 1000.0, c);
+    const MetricSeries probe = shapeOf(2, 50);
+    const auto id = bank.identifyWithConfidence(probe);
+    EXPECT_EQ(id.index, bank.identify(probe));
+    EXPECT_EQ(bank.entry(id.index).classId, 2);
+    EXPECT_GT(id.confidence, 0.5);
+}
+
+TEST(SignatureBank, AmbiguousMatchFallsBelowConfidenceFloor)
+{
+    // Two near-identical signatures: the best and runner-up distances
+    // are almost equal, so the margin-based confidence collapses and
+    // a positive floor reports "unknown" instead of guessing.
+    SignatureBank bank(1000.0);
+    bank.add(MetricSeries(30, 0.02), 1.0, 0);
+    bank.add(MetricSeries(30, 0.0201), 2.0, 1);
+    const MetricSeries probe(30, 0.02005); // equidistant
+
+    const auto permissive = bank.identifyWithConfidence(probe, 0.0);
+    EXPECT_NE(permissive.index, SignatureBank::npos);
+    EXPECT_LT(permissive.confidence, 0.1);
+
+    const auto strict = bank.identifyWithConfidence(probe, 0.9);
+    EXPECT_EQ(strict.index, SignatureBank::npos);
+    EXPECT_DOUBLE_EQ(strict.confidence, 0.0);
+}
+
+TEST(SignatureBank, SingleEntryExactMatchIsFullyConfident)
+{
+    SignatureBank bank(1000.0);
+    bank.add(shapeOf(1, 40), 5.0, 1);
+    const auto id = bank.identifyWithConfidence(shapeOf(1, 40), 0.5);
+    EXPECT_EQ(id.index, 0u);
+    EXPECT_DOUBLE_EQ(id.confidence, 1.0);
+}
+
+TEST(SignatureBank, ConfidenceDegenerateInputs)
+{
+    SignatureBank bank(1000.0);
+    EXPECT_EQ(bank.identifyWithConfidence({0.1}).index,
+              SignatureBank::npos);
+    bank.add({0.1, 0.2}, 10.0, 0);
+    EXPECT_EQ(bank.identifyWithConfidence({}).index,
+              SignatureBank::npos);
+}
+
 // ------------------------------------------------- RecentPastPredictor
 
 TEST(RecentPast, EmptyPredictsZero)

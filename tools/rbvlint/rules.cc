@@ -28,6 +28,7 @@ const char *const kR2 = "R2-global-state";
 const char *const kR3 = "R3-io";
 const char *const kR4 = "R4-include";
 const char *const kR5 = "R5-units";
+const char *const kR6 = "R6-swallow";
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
@@ -174,6 +175,7 @@ class Linter
         if (header)
             checkGuard();
         scanTokens();
+        scanCatches();
         walkStatements();
         std::sort(out.begin(), out.end(),
                   [](const Violation &a, const Violation &b) {
@@ -310,6 +312,67 @@ class Linter
                 emit(kR3, t.line,
                      t.text + "() in library code; report through "
                               "src/exp/report.hh");
+            }
+        }
+    }
+
+    /** Index of the `}` matching the `{` at @p open (or past-end). */
+    std::size_t
+    matchBrace(std::size_t open) const
+    {
+        int depth = 0;
+        for (std::size_t i = open; i < lr.tokens.size(); ++i) {
+            const Token &t = lr.tokens[i];
+            if (t.kind != Tok::Punct)
+                continue;
+            if (t.text == "{")
+                ++depth;
+            else if (t.text == "}" && --depth == 0)
+                return i;
+        }
+        return lr.tokens.size();
+    }
+
+    // ---- R6: catch (...) that swallows the exception. -------------
+
+    /**
+     * A `catch (...)` whose body neither rethrows, nor calls
+     * anything, nor assigns anything has silently discarded the
+     * failure — nothing downstream can tell the run degraded. The
+     * body must rethrow (`throw;`), record the failure (an
+     * assignment), or hand it to a handler (a call).
+     */
+    void
+    scanCatches()
+    {
+        if (!inSrc)
+            return;
+        for (std::size_t i = 0; i + 5 < lr.tokens.size(); ++i) {
+            const Token &t = lr.tokens[i];
+            if (t.kind != Tok::Ident || t.text != "catch")
+                continue;
+            // The lexer emits single-char puncts: `catch (...)` is
+            // `catch` `(` `.` `.` `.` `)`.
+            if (!(nextIs(i, "(") && nextIs(i + 1, ".") &&
+                  nextIs(i + 2, ".") && nextIs(i + 3, ".") &&
+                  nextIs(i + 4, ")") && nextIs(i + 5, "{")))
+                continue;
+            const std::size_t open = i + 6;
+            const std::size_t close = matchBrace(open);
+            bool handled = false;
+            for (std::size_t k = open + 1; k < close && !handled;
+                 ++k) {
+                const Token &b = lr.tokens[k];
+                if (b.kind == Tok::Ident &&
+                    (b.text == "throw" || nextIs(k, "(")))
+                    handled = true;
+                else if (b.kind == Tok::Punct && b.text == "=")
+                    handled = true;
+            }
+            if (!handled) {
+                emit(kR6, t.line,
+                     "catch (...) swallows the exception; rethrow, "
+                     "record the failure, or call a handler");
             }
         }
     }
@@ -604,7 +667,7 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> rules = {kR1, kR2, kR3,
-                                                   kR4, kR5};
+                                                   kR4, kR5, kR6};
     return rules;
 }
 
