@@ -122,8 +122,10 @@ main(int argc, char **argv)
                 return 0.0;
             };
 
-            const auto dm =
-                core::DistanceMatrix::build(series.size(), dist);
+            // dist is pure in (i, j), so the parallel build is
+            // byte-identical at any --jobs; the tables cannot change.
+            const auto dm = core::DistanceMatrix::build(
+                series.size(), dist, jobsFlag(cli));
             stats::Rng crng(seed + 99);
             const auto cl = core::kMedoids(dm, k, crng);
 

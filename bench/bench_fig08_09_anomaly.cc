@@ -249,8 +249,8 @@ main(int argc, char **argv)
         stats::Rng prng(seed);
         const double penalty = core::lengthPenalty(cpi_series, prng);
 
-        const auto det =
-            core::detectCentroidAnomaly(cpi_series, penalty);
+        const auto det = core::detectCentroidAnomaly(
+            cpi_series, penalty, jobsFlag(cli));
         std::cout << "Q20 group size " << group.size()
                   << "; anomaly = request #"
                   << group[det.anomaly]->id << ", reference = "

@@ -7,12 +7,33 @@
  * L1 distance, making L1 "the more attractive approach when the cost
  * of computing request differences must be kept low (particularly
  * for online request modeling)". This bench quantifies that gap over
- * realistic series lengths.
+ * realistic series lengths, and doubles as the fast-path
+ * before/after table: every optimized kernel is benchmarked next to
+ * its preserved pre-optimization reference (rbv::core::ref), and the
+ * results of both are cross-checked for bit-identity before timing.
+ *
+ * Invoked as `bench_micro_distance_cost --json-out FILE` it skips
+ * google-benchmark and instead writes the perf-trajectory baseline:
+ * kernel ns/op and distance-matrix build wall time (reference,
+ * serial fast path, 4-job fast path), as machine-readable JSON.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "core/model/distance.hh"
+#include "core/model/distance_ref.hh"
+#include "core/model/kmedoids.hh"
 #include "stats/rng.hh"
 
 using namespace rbv;
@@ -66,6 +87,17 @@ BM_DtwDistance(benchmark::State &state)
 }
 
 void
+BM_DtwDistanceRef(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSeries(n, 1);
+    const auto y = randomSeries(n + n / 10, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ref::dtwDistance(x, y, 0.0));
+    state.SetComplexityN(state.range(0));
+}
+
+void
 BM_DtwAsyncPenalty(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
@@ -73,6 +105,33 @@ BM_DtwAsyncPenalty(benchmark::State &state)
     const auto y = randomSeries(n + n / 10, 2);
     for (auto _ : state)
         benchmark::DoNotOptimize(dtwDistance(x, y, 1.0));
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_DtwBanded(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSeries(n, 1);
+    const auto y = randomSeries(n + n / 10, 2);
+    const std::size_t band = n / 8 + 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dtwDistanceBanded(x, y, 1.0, band));
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_DtwEarlyAbandon(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSeries(n, 1);
+    const auto y = randomSeries(n + n / 10, 2);
+    // A cutoff at half the exact value abandons partway through the
+    // DP — the nearest-neighbor pruning case this kernel serves.
+    const double cutoff = dtwDistance(x, y, 1.0) * 0.5;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dtwDistanceEarlyAbandon(x, y, 1.0, cutoff));
     state.SetComplexityN(state.range(0));
 }
 
@@ -96,12 +155,263 @@ BM_Levenshtein(benchmark::State &state)
         benchmark::DoNotOptimize(levenshteinDistance(x, y, 512));
 }
 
+void
+BM_LevenshteinRef(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = randomSyscalls(n, 1);
+    const auto y = randomSyscalls(n, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ref::levenshteinDistance(x, y, 512));
+}
+
+void
+BM_MatrixBuild(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const int jobs = static_cast<int>(state.range(1));
+    std::vector<MetricSeries> series;
+    series.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        series.push_back(randomSeries(128 + i % 32, i + 1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(DistanceMatrix::build(
+            n,
+            [&](std::size_t i, std::size_t j) {
+                return dtwDistance(series[i], series[j], 1.0);
+            },
+            jobs));
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_MatrixBuildRef(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<MetricSeries> series;
+    series.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        series.push_back(randomSeries(128 + i % 32, i + 1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ref::distanceMatrixBuild(
+            n, [&](std::size_t i, std::size_t j) {
+                return ref::dtwDistance(series[i], series[j], 1.0);
+            }));
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+// ------------------------------------------- trajectory JSON emitter
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/**
+ * ns per fn() call: calibrate the iteration count to ~80 ms of wall
+ * time, then report the best of three repetitions (the least
+ * noise-inflated estimate).
+ */
+template <typename Fn>
+double
+nsPerOp(Fn &&fn)
+{
+    fn(); // warm caches and scratch arenas
+    auto t0 = Clock::now();
+    fn();
+    const double once_ms = std::max(elapsedMs(t0), 1e-6);
+    const auto iters = static_cast<std::size_t>(
+        std::max(1.0, std::min(1e7, 80.0 / once_ms)));
+
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+        t0 = Clock::now();
+        for (std::size_t i = 0; i < iters; ++i)
+            fn();
+        best_ms = std::min(best_ms, elapsedMs(t0));
+    }
+    return best_ms * 1e6 / static_cast<double>(iters);
+}
+
+int
+emitTrajectory(const std::string &path)
+{
+    constexpr std::size_t KernelLen = 512;
+    const auto x = randomSeries(KernelLen, 1);
+    const auto y = randomSeries(KernelLen + KernelLen / 10, 2);
+    const auto sx = randomSyscalls(2048, 1);
+    const auto sy = randomSyscalls(2048, 2);
+
+    // Cross-check the fast kernels against the reference before
+    // trusting any timing: a fast-but-wrong kernel must not become
+    // the baseline.
+    const double dtw_ref = ref::dtwDistance(x, y, 1.0);
+    const double dtw_new = dtwDistance(x, y, 1.0);
+    const double dtw_band = dtwDistanceBanded(x, y, 1.0, KernelLen / 8);
+    const double lev_ref = ref::levenshteinDistance(sx, sy, 512);
+    const double lev_new = levenshteinDistance(sx, sy, 512);
+    if (dtw_new != dtw_ref || dtw_band != dtw_ref ||
+        lev_new != lev_ref) {
+        std::cerr << "FATAL: kernel/reference mismatch (dtw "
+                  << dtw_new << "/" << dtw_band << " vs " << dtw_ref
+                  << ", lev " << lev_new << " vs " << lev_ref
+                  << ")\n";
+        return 1;
+    }
+
+    const double dtw_ref_ns =
+        nsPerOp([&] { benchmark::DoNotOptimize(
+            ref::dtwDistance(x, y, 1.0)); });
+    const double dtw_ns = nsPerOp(
+        [&] { benchmark::DoNotOptimize(dtwDistance(x, y, 1.0)); });
+    const double dtw_band_ns = nsPerOp([&] {
+        benchmark::DoNotOptimize(
+            dtwDistanceBanded(x, y, 1.0, KernelLen / 8));
+    });
+    const double ea_cutoff = dtw_ref * 0.5;
+    const double dtw_ea_ns = nsPerOp([&] {
+        benchmark::DoNotOptimize(
+            dtwDistanceEarlyAbandon(x, y, 1.0, ea_cutoff));
+    });
+    const double lev_ref_ns = nsPerOp([&] {
+        benchmark::DoNotOptimize(
+            ref::levenshteinDistance(sx, sy, 512));
+    });
+    const double lev_ns = nsPerOp([&] {
+        benchmark::DoNotOptimize(levenshteinDistance(sx, sy, 512));
+    });
+
+    // Matrix build: the ISSUE's headline number. Wall time of the
+    // pre-PR scalar path (std::function + per-call allocation) vs
+    // the fast path serial and at 4 jobs, over identical inputs;
+    // results are required to be byte-identical.
+    constexpr std::size_t MatrixN = 96;
+    std::vector<MetricSeries> series;
+    series.reserve(MatrixN);
+    for (std::size_t i = 0; i < MatrixN; ++i)
+        series.push_back(randomSeries(192 + i % 64, i + 1));
+    const auto cell = [&](std::size_t i, std::size_t j) {
+        return dtwDistance(series[i], series[j], 1.0);
+    };
+
+    auto t0 = Clock::now();
+    const auto dm_ref = ref::distanceMatrixBuild(
+        MatrixN, [&](std::size_t i, std::size_t j) {
+            return ref::dtwDistance(series[i], series[j], 1.0);
+        });
+    const double ref_ms = elapsedMs(t0);
+
+    t0 = Clock::now();
+    const auto dm_serial = DistanceMatrix::build(MatrixN, cell, 1);
+    const double serial_ms = elapsedMs(t0);
+
+    t0 = Clock::now();
+    const auto dm_par = DistanceMatrix::build(MatrixN, cell, 4);
+    const double par4_ms = elapsedMs(t0);
+
+    bool identical = true;
+    for (std::size_t i = 0; i < MatrixN && identical; ++i)
+        for (std::size_t j = i + 1; j < MatrixN; ++j)
+            if (dm_ref.at(i, j) != dm_serial.at(i, j) ||
+                dm_ref.at(i, j) != dm_par.at(i, j)) {
+                identical = false;
+                break;
+            }
+    if (!identical) {
+        std::cerr << "FATAL: matrix build results diverge\n";
+        return 1;
+    }
+    const double speedup = ref_ms / par4_ms;
+
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+    }
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"distance\",\n"
+        "  \"host_cpus\": %u,\n"
+        "  \"series_len\": %zu,\n"
+        "  \"kernels_ns_op\": {\n"
+        "    \"dtw_ref\": %.1f,\n"
+        "    \"dtw\": %.1f,\n"
+        "    \"dtw_banded\": %.1f,\n"
+        "    \"dtw_early_abandon\": %.1f,\n"
+        "    \"levenshtein_ref\": %.1f,\n"
+        "    \"levenshtein\": %.1f\n"
+        "  },\n"
+        "  \"matrix_build\": {\n"
+        "    \"n\": %zu,\n"
+        "    \"ref_wall_ms\": %.2f,\n"
+        "    \"serial_wall_ms\": %.2f,\n"
+        "    \"par4_wall_ms\": %.2f,\n"
+        "    \"speedup_par4_vs_ref\": %.2f,\n"
+        "    \"byte_identical\": true\n"
+        "  }\n"
+        "}\n",
+        std::thread::hardware_concurrency(), KernelLen, dtw_ref_ns,
+        dtw_ns, dtw_band_ns, dtw_ea_ns, lev_ref_ns, lev_ns, MatrixN,
+        ref_ms, serial_ms, par4_ms, speedup);
+    os << buf;
+
+    // Human-readable echo of the before/after table.
+    std::printf("kernel ns/op (len %zu):\n", KernelLen);
+    std::printf("  dtw             %10.1f  (ref %10.1f, %.2fx)\n",
+                dtw_ns, dtw_ref_ns, dtw_ref_ns / dtw_ns);
+    std::printf("  dtw banded      %10.1f\n", dtw_band_ns);
+    std::printf("  dtw early-abandon %8.1f\n", dtw_ea_ns);
+    std::printf("  levenshtein     %10.1f  (ref %10.1f, %.2fx)\n",
+                lev_ns, lev_ref_ns, lev_ref_ns / lev_ns);
+    std::printf("matrix build n=%zu: ref %.2f ms, serial %.2f ms, "
+                "4 jobs %.2f ms (%.2fx vs ref, byte-identical, "
+                "%u host cpus)\n",
+                MatrixN, ref_ms, serial_ms, par4_ms, speedup,
+                std::thread::hardware_concurrency());
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
 } // namespace
 
 BENCHMARK(BM_L1Distance)->Range(16, 1024)->Complexity();
 BENCHMARK(BM_DtwDistance)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_DtwDistanceRef)->Range(16, 1024)->Complexity();
 BENCHMARK(BM_DtwAsyncPenalty)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_DtwBanded)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_DtwEarlyAbandon)->Range(16, 1024)->Complexity();
 BENCHMARK(BM_AvgMetricDistance)->Range(16, 1024);
 BENCHMARK(BM_Levenshtein)->Range(16, 4096);
+BENCHMARK(BM_LevenshteinRef)->Range(16, 4096);
+BENCHMARK(BM_MatrixBuild)
+    ->ArgsProduct({{32, 96}, {1, 4}})
+    ->Complexity();
+BENCHMARK(BM_MatrixBuildRef)->Range(32, 96)->Complexity();
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // --json-out FILE (or --json-out=FILE): emit the perf-trajectory
+    // baseline instead of running google-benchmark.
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json-out=", 0) == 0)
+            return emitTrajectory(arg.substr(11));
+        if (arg == "--json-out" && i + 1 < argc)
+            return emitTrajectory(argv[i + 1]);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

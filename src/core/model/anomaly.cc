@@ -6,6 +6,7 @@
 #include "core/model/anomaly.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/model/distance.hh"
 #include "stats/summary.hh"
@@ -14,7 +15,7 @@ namespace rbv::core {
 
 CentroidAnomaly
 detectCentroidAnomaly(const std::vector<MetricSeries> &series,
-                      double async_penalty)
+                      double async_penalty, int jobs)
 {
     CentroidAnomaly out;
     const std::size_t n = series.size();
@@ -22,9 +23,11 @@ detectCentroidAnomaly(const std::vector<MetricSeries> &series,
         return out;
 
     const DistanceMatrix dm = DistanceMatrix::build(
-        n, [&](std::size_t i, std::size_t j) {
+        n,
+        [&](std::size_t i, std::size_t j) {
             return dtwDistance(series[i], series[j], async_penalty);
-        });
+        },
+        jobs);
 
     // Centroid: minimal summed distance to all members.
     std::size_t centroid = 0;
@@ -72,13 +75,31 @@ detectMetricPairAnomaly(const std::vector<MetricSeries> &refs_series,
                 std::max(refs_series[i].size(), refs_series[j].size()));
             if (len == 0.0)
                 continue;
-            const double dref =
-                dtwDistance(refs_series[i], refs_series[j],
-                            refs_penalty) /
-                len;
             const double dcpi =
                 dtwDistance(cpi_series[i], cpi_series[j], cpi_penalty) /
                 len;
+            // The pair search maximizes dcpi / (dref + 1e-9): a pair
+            // can only displace the incumbent when its refs distance
+            // is small, dref < dcpi / best_score - 1e-9. Abandoning
+            // the refs DTW at the strictly larger bound dcpi /
+            // best_score is therefore conservative — the trailing
+            // 1e-9 slack dwarfs any rounding in the bound — and a
+            // finite early-abandon result is bit-identical to the
+            // plain kernel, so the winning pair (and every printed
+            // number) is unchanged.
+            double dref;
+            if (best_score > 0.0) {
+                const double raw = dtwDistanceEarlyAbandon(
+                    refs_series[i], refs_series[j], refs_penalty,
+                    dcpi / best_score * len);
+                if (std::isinf(raw))
+                    continue;
+                dref = raw / len;
+            } else {
+                dref = dtwDistance(refs_series[i], refs_series[j],
+                                   refs_penalty) /
+                       len;
+            }
             const double score = dcpi / (dref + 1e-9);
             if (score > best_score) {
                 best_score = score;

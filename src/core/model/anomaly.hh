@@ -44,9 +44,13 @@ struct CentroidAnomaly
  *
  * @param series        One metric series per group member.
  * @param async_penalty DTW asynchrony penalty (= length penalty p).
+ * @param jobs          Worker threads for the pairwise distance
+ *                      matrix (1 = serial; result is byte-identical
+ *                      at any job count).
  */
 CentroidAnomaly detectCentroidAnomaly(
-    const std::vector<MetricSeries> &series, double async_penalty);
+    const std::vector<MetricSeries> &series, double async_penalty,
+    int jobs = 1);
 
 /** Result of multi-metric anomaly-pair detection. */
 struct MetricPairAnomaly

@@ -1,6 +1,12 @@
 /**
  * @file
  * Request differencing measures implementation.
+ *
+ * Hot-path kernels (DTW variants, bit-parallel Levenshtein) run over
+ * the per-thread DistanceScratch arena and allocate nothing in steady
+ * state. Every optimized kernel is bit-identical to its reference in
+ * distance_ref.cc; tests/distance_perf_test.cc enforces that on
+ * randomized inputs.
  */
 
 #include "core/model/distance.hh"
@@ -8,12 +14,24 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "core/check.hh"
+#include "core/model/distance_scratch.hh"
 #include "stats/summary.hh"
 #include "obs/obs.hh"
 
 namespace rbv::core {
+
+DistanceScratch &
+threadDistanceScratch()
+{
+    // One arena per thread (never shared, so there is no cross-thread
+    // state here); buffers persist for the thread's lifetime so the
+    // kernels below stay allocation-free in steady state.
+    thread_local DistanceScratch scratch;
+    return scratch;
+}
 
 double
 l1Distance(const MetricSeries &x, const MetricSeries &y, double p)
@@ -29,6 +47,49 @@ l1Distance(const MetricSeries &x, const MetricSeries &y, double p)
     return d;
 }
 
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/** min of three doubles; compiles to two branch-free minsd ops. */
+inline double
+min3(double a, double b, double c)
+{
+    return std::min(std::min(a, b), c);
+}
+
+/**
+ * The full DTW recurrence over flat scratch rows. Identical
+ * arithmetic (operation-for-operation) to the historical rolling
+ * vector version, so results are bit-identical; only the storage
+ * changed. Requires m >= 1 and n >= 1.
+ */
+double
+dtwFull(const double *x, std::size_t m, const double *y, std::size_t n,
+        double async_penalty, DistanceScratch &scratch)
+{
+    auto [prev, cur] = scratch.dtwRowPair(n);
+
+    prev[0] = std::abs(x[0] - y[0]); // initial pointer position
+    for (std::size_t j = 1; j < n; ++j)
+        prev[j] = prev[j - 1] + std::abs(x[0] - y[j]) + async_penalty;
+
+    for (std::size_t i = 1; i < m; ++i) {
+        const double xi = x[i];
+        cur[0] = prev[0] + std::abs(xi - y[0]) + async_penalty;
+        for (std::size_t j = 1; j < n; ++j) {
+            const double best = min3(prev[j - 1],
+                                     prev[j] + async_penalty,
+                                     cur[j - 1] + async_penalty);
+            cur[j] = best + std::abs(xi - y[j]);
+        }
+        std::swap(prev, cur);
+    }
+    return prev[n - 1];
+}
+
+} // namespace
+
 double
 dtwDistance(const MetricSeries &x, const MetricSeries &y,
             double async_penalty)
@@ -39,31 +100,136 @@ dtwDistance(const MetricSeries &x, const MetricSeries &y,
         // Degenerate: all steps are asynchronous.
         return static_cast<double>(m + n) * async_penalty;
     }
+    const double d = dtwFull(x.data(), m, y.data(), n, async_penalty,
+                             threadDistanceScratch());
+    RBV_DCHECK(std::isfinite(d),
+               "dtwDistance produced a non-finite value");
+    return d;
+}
 
-    constexpr double Inf = std::numeric_limits<double>::infinity();
+double
+dtwDistanceBanded(const MetricSeries &x, const MetricSeries &y,
+                  double async_penalty, std::size_t band)
+{
+    RBV_PROF_SCOPE(DtwBanded);
+    const std::size_t m = x.size(), n = y.size();
+    if (m == 0 || n == 0)
+        return static_cast<double>(m + n) * async_penalty;
 
-    // D[i][j]: minimum warp-path distance with pointers at (i, j),
-    // including the cost |x_i - y_j| of the current position. Rolling
-    // two rows keeps memory at O(n).
-    std::vector<double> prev(n, Inf), cur(n, Inf);
+    DistanceScratch &scratch = threadDistanceScratch();
+    const std::size_t diff = m > n ? m - n : n - m;
 
-    prev[0] = std::abs(x[0] - y[0]); // initial pointer position
-    for (std::size_t j = 1; j < n; ++j)
-        prev[j] = prev[j - 1] + std::abs(x[0] - y[j]) + async_penalty;
+    // The guard below can only certify exactness when leaving the
+    // band costs something, and the band must contain the end cell
+    // (|i-j| = diff there) to admit any path at all.
+    if (async_penalty <= 0.0 || band < diff) {
+        RBV_COUNT(ModelDtwBandFallbacks, 1);
+        return dtwFull(x.data(), m, y.data(), n, async_penalty,
+                       scratch);
+    }
+    if (band >= std::max(m, n) - 1) {
+        // The band covers every cell; the banded DP IS the full DP.
+        RBV_COUNT(ModelDtwBandExact, 1);
+        return dtwFull(x.data(), m, y.data(), n, async_penalty,
+                       scratch);
+    }
+
+    // Banded DP over cells with |i - j| <= band. Rows carry one
+    // sentinel slot past the band edge so the recurrence can read
+    // out-of-band neighbors as +inf without branching.
+    auto [prev, cur] = scratch.dtwRowPair(n + 1);
+    const double *xs = x.data(), *ys = y.data();
+
+    std::size_t hi = std::min(n - 1, band);
+    prev[0] = std::abs(xs[0] - ys[0]);
+    for (std::size_t j = 1; j <= hi; ++j)
+        prev[j] = prev[j - 1] + std::abs(xs[0] - ys[j]) + async_penalty;
+    prev[hi + 1] = Inf;
 
     for (std::size_t i = 1; i < m; ++i) {
-        cur[0] = prev[0] + std::abs(x[i] - y[0]) + async_penalty;
+        const std::size_t lo = i > band ? i - band : 0;
+        hi = std::min(n - 1, i + band);
+        const double xi = xs[i];
+        std::size_t j = lo;
+        if (lo == 0) {
+            cur[0] = prev[0] + std::abs(xi - ys[0]) + async_penalty;
+            j = 1;
+        } else {
+            cur[lo - 1] = Inf;
+        }
+        for (; j <= hi; ++j) {
+            const double best = min3(prev[j - 1],
+                                     prev[j] + async_penalty,
+                                     cur[j - 1] + async_penalty);
+            cur[j] = best + std::abs(xi - ys[j]);
+        }
+        cur[hi + 1] = Inf;
+        std::swap(prev, cur);
+    }
+    const double banded = prev[n - 1];
+
+    // Exactness guard: any warp path leaving the band reaches an
+    // |i-j| offset of band+1, so it takes at least
+    // 2*(band+1) - |m-n| asynchronous steps and costs at least that
+    // many penalties. If the banded optimum is already cheaper, no
+    // outside path can beat it and the banded value is the exact
+    // DTW. The 0.999 margin absorbs floating-point summation slack
+    // on the conservative side.
+    const double lb_exit =
+        async_penalty * (2.0 * static_cast<double>(band + 1) -
+                         static_cast<double>(diff));
+    if (banded <= lb_exit * 0.999) {
+        RBV_COUNT(ModelDtwBandExact, 1);
+        RBV_DCHECK(std::isfinite(banded),
+                   "dtwDistanceBanded produced a non-finite value");
+        return banded;
+    }
+    RBV_COUNT(ModelDtwBandFallbacks, 1);
+    return dtwFull(xs, m, ys, n, async_penalty, scratch);
+}
+
+double
+dtwDistanceEarlyAbandon(const MetricSeries &x, const MetricSeries &y,
+                        double async_penalty, double cutoff)
+{
+    RBV_PROF_SCOPE(DtwEarlyAbandon);
+    const std::size_t m = x.size(), n = y.size();
+    if (m == 0 || n == 0)
+        return static_cast<double>(m + n) * async_penalty;
+
+    auto [prev, cur] = threadDistanceScratch().dtwRowPair(n);
+    const double *xs = x.data(), *ys = y.data();
+
+    // Every warp path visits at least one cell per row, so once a
+    // whole row sits at or above the cutoff the final value must too.
+    double row_min = prev[0] = std::abs(xs[0] - ys[0]);
+    for (std::size_t j = 1; j < n; ++j) {
+        prev[j] =
+            prev[j - 1] + std::abs(xs[0] - ys[j]) + async_penalty;
+        row_min = std::min(row_min, prev[j]);
+    }
+    if (row_min >= cutoff) {
+        RBV_COUNT(ModelDtwEarlyAbandons, 1);
+        return Inf;
+    }
+
+    for (std::size_t i = 1; i < m; ++i) {
+        const double xi = xs[i];
+        row_min = cur[0] =
+            prev[0] + std::abs(xi - ys[0]) + async_penalty;
         for (std::size_t j = 1; j < n; ++j) {
-            const double best =
-                std::min({prev[j - 1],
-                          prev[j] + async_penalty,
-                          cur[j - 1] + async_penalty});
-            cur[j] = best + std::abs(x[i] - y[j]);
+            const double best = min3(prev[j - 1],
+                                     prev[j] + async_penalty,
+                                     cur[j - 1] + async_penalty);
+            cur[j] = best + std::abs(xi - ys[j]);
+            row_min = std::min(row_min, cur[j]);
+        }
+        if (row_min >= cutoff) {
+            RBV_COUNT(ModelDtwEarlyAbandons, 1);
+            return Inf;
         }
         std::swap(prev, cur);
     }
-    RBV_DCHECK(std::isfinite(prev[n - 1]),
-               "dtwDistance produced a non-finite value");
     return prev[n - 1];
 }
 
@@ -75,40 +241,121 @@ avgMetricDistance(const MetricSeries &x, const MetricSeries &y)
 
 namespace {
 
-/** Uniformly subsample a sequence down to at most max_len entries. */
-std::vector<os::Sys>
-subsample(const std::vector<os::Sys> &s, std::size_t max_len)
+/**
+ * Uniformly subsample a sequence down to at most max_len entries.
+ * Returns a view of @p s itself when it is already short enough (no
+ * copy), and a view over @p out (grown in the scratch arena)
+ * otherwise. Index selection matches the historical copying version
+ * exactly.
+ */
+std::span<const os::Sys>
+subsampleView(const std::vector<os::Sys> &s, std::size_t max_len,
+              std::vector<os::Sys> &out)
 {
     if (s.size() <= max_len)
-        return s;
-    std::vector<os::Sys> out;
-    out.reserve(max_len);
+        return {s.data(), s.size()};
+    out.resize(max_len);
     const double stride =
         static_cast<double>(s.size()) / static_cast<double>(max_len);
     for (std::size_t i = 0; i < max_len; ++i) {
         const auto idx = static_cast<std::size_t>(
             static_cast<double>(i) * stride);
-        out.push_back(s[std::min(idx, s.size() - 1)]);
+        out[i] = s[std::min(idx, s.size() - 1)];
     }
-    return out;
+    return {out.data(), max_len};
 }
 
-} // namespace
+/** Symbols the Myers kernel can pack into one Peq alphabet. */
+constexpr std::size_t BitAlphabet = 64;
 
-double
-levenshteinDistance(const std::vector<os::Sys> &a,
-                    const std::vector<os::Sys> &b, std::size_t max_len)
+static_assert(static_cast<std::size_t>(os::NumSys) <= BitAlphabet,
+              "the full syscall catalogue must fit the bit-parallel "
+              "alphabet; widen BitAlphabet or accept DP fallbacks");
+
+bool
+fitsBitAlphabet(std::span<const os::Sys> s)
 {
-    RBV_PROF_SCOPE(LevenshteinDistance);
-    const std::vector<os::Sys> x = subsample(a, max_len);
-    const std::vector<os::Sys> y = subsample(b, max_len);
-    const std::size_t m = x.size(), n = y.size();
-    if (m == 0)
-        return static_cast<double>(n);
-    if (n == 0)
-        return static_cast<double>(m);
+    for (const os::Sys c : s)
+        if (static_cast<std::size_t>(c) >= BitAlphabet)
+            return false;
+    return true;
+}
 
-    std::vector<std::uint32_t> prev(n + 1), cur(n + 1);
+/**
+ * One column step of one 64-row block of Myers' bit-parallel edit
+ * distance recurrence (Hyyro's block formulation). @p hin is the
+ * horizontal delta entering the block from below (-1, 0, +1); the
+ * return value is the delta leaving at @p out_bit — bit 63 when the
+ * block feeds a successor, or the pattern's last row for the top
+ * block, where it is the score delta of this column.
+ */
+inline int
+myersColumnStep(std::uint64_t &pv, std::uint64_t &mv, std::uint64_t eq,
+                int hin, unsigned out_bit)
+{
+    const std::uint64_t hin_neg = hin < 0 ? 1u : 0u;
+    const std::uint64_t xv = eq | mv;
+    eq |= hin_neg;
+    const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    std::uint64_t ph = mv | ~(xh | pv);
+    std::uint64_t mh = pv & xh;
+    const int hout = static_cast<int>((ph >> out_bit) & 1u) -
+                     static_cast<int>((mh >> out_bit) & 1u);
+    ph = (ph << 1) | (hin > 0 ? 1u : 0u);
+    mh = (mh << 1) | hin_neg;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+    return hout;
+}
+
+/**
+ * Myers bit-parallel Levenshtein over 64-row blocks of the pattern
+ * @p x. O(ceil(m/64) * n) word ops; exact (the DP and the
+ * bit-vector recurrence compute the same integer). Requires
+ * m >= 1, n >= 1 and all symbols < BitAlphabet.
+ */
+std::int64_t
+levBitParallel(std::span<const os::Sys> x, std::span<const os::Sys> y,
+               DistanceScratch &scratch)
+{
+    const std::size_t m = x.size(), n = y.size();
+    const std::size_t blocks = (m + 63) / 64;
+
+    // Peq[sym * blocks + b]: bit i of block b set iff x row matches.
+    scratch.peq.assign(BitAlphabet * blocks, 0);
+    for (std::size_t i = 0; i < m; ++i)
+        scratch.peq[static_cast<std::size_t>(x[i]) * blocks + i / 64] |=
+            1ULL << (i % 64);
+    scratch.myersPv.assign(blocks, ~0ULL);
+    scratch.myersMv.assign(blocks, 0);
+
+    std::uint64_t *pv = scratch.myersPv.data();
+    std::uint64_t *mv = scratch.myersMv.data();
+    const unsigned last_bit = static_cast<unsigned>((m - 1) % 64);
+
+    // score tracks D(m, j); the boundary D(0, j) = j enters block 0
+    // as hin = +1 each column, D(i, 0) = i is the all-ones pv init.
+    std::int64_t score = static_cast<std::int64_t>(m);
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::uint64_t *eq =
+            scratch.peq.data() +
+            static_cast<std::size_t>(y[j]) * blocks;
+        int h = 1;
+        for (std::size_t b = 0; b + 1 < blocks; ++b)
+            h = myersColumnStep(pv[b], mv[b], eq[b], h, 63);
+        score += myersColumnStep(pv[blocks - 1], mv[blocks - 1],
+                                 eq[blocks - 1], h, last_bit);
+    }
+    return score;
+}
+
+/** Scalar DP fallback over scratch rows (wide-alphabet path). */
+std::uint32_t
+levScalarDp(std::span<const os::Sys> x, std::span<const os::Sys> y,
+            DistanceScratch &scratch)
+{
+    const std::size_t m = x.size(), n = y.size();
+    auto [prev, cur] = scratch.levRowPair(n + 1);
     for (std::size_t j = 0; j <= n; ++j)
         prev[j] = static_cast<std::uint32_t>(j);
 
@@ -121,28 +368,73 @@ levenshteinDistance(const std::vector<os::Sys> &a,
         }
         std::swap(prev, cur);
     }
-    return static_cast<double>(prev[n]);
+    return prev[n];
+}
+
+} // namespace
+
+double
+levenshteinDistance(const std::vector<os::Sys> &a,
+                    const std::vector<os::Sys> &b, std::size_t max_len)
+{
+    RBV_PROF_SCOPE(LevenshteinDistance);
+    DistanceScratch &scratch = threadDistanceScratch();
+    const std::span<const os::Sys> x =
+        subsampleView(a, max_len, scratch.subA);
+    const std::span<const os::Sys> y =
+        subsampleView(b, max_len, scratch.subB);
+    const std::size_t m = x.size(), n = y.size();
+    if (m == 0)
+        return static_cast<double>(n);
+    if (n == 0)
+        return static_cast<double>(m);
+
+    if (fitsBitAlphabet(x) && fitsBitAlphabet(y)) {
+        RBV_COUNT(ModelLevBitParallel, 1);
+        // The shorter sequence is the pattern: fewest 64-row blocks.
+        // Edit distance is symmetric and integer-exact, so the
+        // orientation cannot change the result.
+        const std::int64_t d =
+            m <= n ? levBitParallel(x, y, scratch)
+                   : levBitParallel(y, x, scratch);
+        return static_cast<double>(d);
+    }
+    RBV_COUNT(ModelLevDpFallbacks, 1);
+    return static_cast<double>(levScalarDp(x, y, scratch));
 }
 
 double
 lengthPenalty(const std::vector<MetricSeries> &series, stats::Rng &rng,
               double q, std::size_t pairs)
 {
-    // Flatten to (series, index) sampling without copying.
-    std::vector<const MetricSeries *> nonempty;
+    RBV_DCHECK(q >= 0.0 && q <= 1.0,
+               "lengthPenalty quantile q=" << q << " outside [0, 1]");
+
+    // Flatten to (series, index) sampling without copying. Hoisting
+    // (data, size) per source means repeated draws of the same
+    // series pay one table lookup, never a re-derivation of the
+    // series bounds.
+    struct Source
+    {
+        const double *data;
+        std::uint64_t size;
+    };
+    std::vector<Source> nonempty;
+    nonempty.reserve(series.size());
     for (const auto &s : series)
         if (!s.empty())
-            nonempty.push_back(&s);
+            nonempty.push_back({s.data(), s.size()});
     if (pairs == 0 || nonempty.empty())
         return 0.0;
 
     std::vector<double> diffs;
     diffs.reserve(pairs);
+    const std::uint64_t n_sources = nonempty.size();
     for (std::size_t k = 0; k < pairs; ++k) {
-        const auto &s1 = *nonempty[rng.uniformInt(nonempty.size())];
-        const auto &s2 = *nonempty[rng.uniformInt(nonempty.size())];
-        const double v1 = s1[rng.uniformInt(s1.size())];
-        const double v2 = s2[rng.uniformInt(s2.size())];
+        const Source &s1 = nonempty[rng.uniformInt(n_sources)];
+        const Source &s2 = nonempty[rng.uniformInt(n_sources)];
+        const double v1 = s1.data[rng.uniformInt(s1.size)];
+        const double v2 = s2.data[rng.uniformInt(s2.size)];
         diffs.push_back(std::abs(v1 - v2));
     }
     return stats::quantile(std::move(diffs), q);

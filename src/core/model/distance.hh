@@ -44,9 +44,42 @@ double l1Distance(const MetricSeries &x, const MetricSeries &y,
  * O(m*n) dynamic program over the two warp pointers; both pointers
  * start at the beginnings and must reach the ends; a step advances
  * either both pointers (synchronous) or one (asynchronous).
+ *
+ * Allocation-free in steady state: the DP rows live in the calling
+ * thread's DistanceScratch arena.
  */
 double dtwDistance(const MetricSeries &x, const MetricSeries &y,
                    double async_penalty = 0.0);
+
+/**
+ * DTW through a Sakoe-Chiba band of half-width @p band (cells with
+ * |i - j| <= band), with an exactness guard: the result is ALWAYS
+ * the exact unbanded DTW value, bit-identical to dtwDistance().
+ *
+ * The band is a go-fast attempt, not an approximation. Any warp path
+ * that leaves the band must take at least 2*(band+1) - |m-n| extra
+ * asynchronous steps, so when the banded optimum already costs less
+ * than that many penalties, no outside path can beat it and the
+ * banded result is provably exact. Otherwise (including the whole
+ * async_penalty == 0 regime, where leaving the band is free) the
+ * kernel falls back to the full O(m*n) recurrence. The obs counters
+ * model.dtw_band_exact / model.dtw_band_fallbacks report the hit
+ * rate.
+ */
+double dtwDistanceBanded(const MetricSeries &x, const MetricSeries &y,
+                         double async_penalty, std::size_t band);
+
+/**
+ * Early-abandoning DTW for nearest-neighbor style queries: returns
+ * the exact DTW value (bit-identical to dtwDistance()) when it is
+ * provably below @p cutoff, and +infinity as soon as a whole DP row
+ * reaches @p cutoff (every warp path crosses every row, so the final
+ * value can no longer be smaller). A finite return value is always
+ * exact, even if it ends up >= cutoff.
+ */
+double dtwDistanceEarlyAbandon(const MetricSeries &x,
+                               const MetricSeries &y,
+                               double async_penalty, double cutoff);
 
 /**
  * Difference of average request metric values (the request-signature
@@ -60,7 +93,16 @@ double avgMetricDistance(const MetricSeries &x, const MetricSeries &y);
  *
  * Sequences longer than @p max_len are uniformly subsampled first
  * (the paper's TPCH/WeBWorK requests issue thousands of calls;
- * exact O(m*n) on those is impractical inside k-medoids).
+ * exact O(m*n) on those is impractical inside k-medoids). The
+ * subsample is a view when no reduction is needed and a scratch-arena
+ * copy otherwise — never a fresh allocation in steady state.
+ *
+ * When every symbol fits the 64-symbol bit-parallel alphabet (the
+ * full os::Sys catalogue does), the DP runs as Myers' bit-parallel
+ * recurrence over 64-row blocks of the shorter sequence —
+ * O(ceil(m/64) * n) word operations instead of O(m*n) cell updates —
+ * and falls back to the scalar DP for wider alphabets. Both paths
+ * return the exact distance.
  */
 double levenshteinDistance(const std::vector<os::Sys> &a,
                            const std::vector<os::Sys> &b,

@@ -4,26 +4,59 @@
  */
 
 #include "core/model/kmedoids.hh"
-#include "obs/obs.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 namespace rbv::core {
 
-DistanceMatrix
-DistanceMatrix::build(
-    std::size_t n,
-    const std::function<double(std::size_t, std::size_t)> &dist)
+namespace detail {
+
+void
+parallelFor(std::size_t count, int jobs,
+            const std::function<void(std::size_t)> &fn)
 {
-    RBV_PROF_SCOPE(DistanceMatrixBuild);
-    DistanceMatrix dm(n);
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = i + 1; j < n; ++j)
-            dm.set(i, j, dist(i, j));
-    return dm;
+    if (count == 0)
+        return;
+    std::size_t workers = jobs > 0
+        ? static_cast<std::size_t>(jobs)
+        : std::max(1u, std::thread::hardware_concurrency());
+    workers = std::min(workers, count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // Dynamic index claiming: rows near the top of the triangle are
+    // much longer than rows near the bottom, so static slicing would
+    // leave workers idle. Each worker grabs the next unclaimed index.
+    // Indices are disjoint, so no two workers ever write the same
+    // cells; the caller's fn must be pure in the index, which the
+    // distance kernels are (per-thread scratch arenas, no shared
+    // mutable state).
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                const std::size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
 }
+
+} // namespace detail
 
 std::vector<std::size_t>
 Clustering::membersOf(std::size_t cluster) const
@@ -67,6 +100,7 @@ kMedoids(const DistanceMatrix &dm, std::size_t k, stats::Rng &rng,
     }
 
     std::vector<std::size_t> assign(n, 0);
+    std::vector<std::vector<std::size_t>> members(medoids.size());
     for (std::size_t iter = 0; iter < max_iter; ++iter) {
         // Assignment step.
         for (std::size_t i = 0; i < n; ++i) {
@@ -82,18 +116,24 @@ kMedoids(const DistanceMatrix &dm, std::size_t k, stats::Rng &rng,
             assign[i] = best;
         }
 
-        // Medoid re-election step.
+        // Medoid re-election over explicit member lists: summing over
+        // members[c] in ascending item order visits exactly the items
+        // the old full scan visited, in the same order, so the float
+        // sums and the strict-< tie-breaks are unchanged — only the
+        // O(k * n^2) skip-scan cost drops to O(sum |c|^2).
+        for (auto &m : members)
+            m.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            members[assign[i]].push_back(i);
+
         bool changed = false;
         for (std::size_t c = 0; c < medoids.size(); ++c) {
             std::size_t best = medoids[c];
             double best_cost = std::numeric_limits<double>::infinity();
-            for (std::size_t i = 0; i < n; ++i) {
-                if (assign[i] != c)
-                    continue;
+            for (const std::size_t i : members[c]) {
                 double cost = 0.0;
-                for (std::size_t j = 0; j < n; ++j)
-                    if (assign[j] == c)
-                        cost += dm.at(i, j);
+                for (const std::size_t j : members[c])
+                    cost += dm.at(i, j);
                 if (cost < best_cost) {
                     best_cost = cost;
                     best = i;

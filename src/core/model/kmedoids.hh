@@ -13,38 +13,118 @@
 #define RBV_CORE_MODEL_KMEDOIDS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "stats/rng.hh"
 
 namespace rbv::core {
 
+namespace detail {
+
 /**
- * Symmetric pairwise distance matrix.
+ * Outlined worker pool behind DistanceMatrix::build: runs
+ * fn(0 .. count-1) on @p jobs threads (<= 0 uses the hardware
+ * concurrency), indices claimed dynamically from an atomic cursor —
+ * the same decomposition contract as exp::ParallelRunner. Every
+ * index runs exactly once and must write disjoint state, so results
+ * cannot depend on the thread count or schedule.
+ */
+void parallelFor(std::size_t count, int jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace detail
+
+/**
+ * Symmetric pairwise distance matrix with packed upper-triangular
+ * storage: n*(n-1)/2 doubles instead of n*n, the diagonal implicit
+ * (always 0), and each row's cells contiguous so the parallel build
+ * writes disjoint cache-friendly ranges.
  */
 class DistanceMatrix
 {
   public:
-    explicit DistanceMatrix(std::size_t n) : n(n), d(n * n, 0.0) {}
+    explicit DistanceMatrix(std::size_t n)
+        : n(n), d(n < 2 ? 0 : n * (n - 1) / 2, 0.0)
+    {
+    }
 
-    /** Build by evaluating dist(i, j) for all i < j. */
-    static DistanceMatrix build(
-        std::size_t n,
-        const std::function<double(std::size_t, std::size_t)> &dist);
+    /**
+     * Build by evaluating dist(i, j) for all i < j. The callable is
+     * invoked directly (templated, no std::function hop on the cell
+     * path). With jobs != 1 rows are filled concurrently by a worker
+     * pool; dist must be safe to call from multiple threads and pure
+     * in (i, j), which makes the result byte-identical at any job
+     * count (each cell is computed exactly once, by exactly one
+     * thread, from (i, j) alone).
+     */
+    template <typename Fn>
+    static DistanceMatrix
+    build(std::size_t n, Fn &&dist, int jobs = 1)
+    {
+        RBV_PROF_SCOPE(DistanceMatrixBuild);
+        DistanceMatrix dm(n);
+        if (n < 2)
+            return dm;
+        RBV_COUNT(ModelDistanceCells,
+                  static_cast<std::uint64_t>(n) * (n - 1) / 2);
+        if (jobs == 1 || n < 3) {
+            for (std::size_t i = 0; i + 1 < n; ++i)
+                dm.fillRow(i, dist);
+        } else {
+            detail::parallelFor(n - 1, jobs, [&](std::size_t i) {
+                dm.fillRow(i, dist);
+            });
+        }
+        return dm;
+    }
 
     std::size_t size() const { return n; }
 
-    double at(std::size_t i, std::size_t j) const { return d[i * n + j]; }
+    double
+    at(std::size_t i, std::size_t j) const
+    {
+        return i == j ? 0.0 : d[packedIndex(i, j)];
+    }
 
     void
     set(std::size_t i, std::size_t j, double v)
     {
-        d[i * n + j] = v;
-        d[j * n + i] = v;
+        if (i != j)
+            d[packedIndex(i, j)] = v;
     }
 
+    /** The packed upper triangle (row-major, row i = columns > i). */
+    const std::vector<double> &packed() const { return d; }
+
   private:
+    template <typename Fn>
+    void
+    fillRow(std::size_t i, Fn &dist)
+    {
+        double *row = d.data() + rowOffset(i);
+        for (std::size_t j = i + 1; j < n; ++j)
+            row[j - i - 1] = dist(i, j);
+    }
+
+    /** First cell of packed row i (valid for i < n-1). */
+    std::size_t
+    rowOffset(std::size_t i) const
+    {
+        return i * (n - 1) - i * (i - 1) / 2;
+    }
+
+    std::size_t
+    packedIndex(std::size_t i, std::size_t j) const
+    {
+        if (j < i)
+            std::swap(i, j);
+        return rowOffset(i) + (j - i - 1);
+    }
+
     std::size_t n;
     std::vector<double> d;
 };
@@ -69,7 +149,10 @@ struct Clustering
  * Run k-medoids (Voronoi iteration / PAM-lite):
  * greedy max-min seeding, then alternate (a) assign each item to its
  * nearest medoid and (b) re-elect each cluster's medoid as the member
- * minimizing summed intra-cluster distance, until stable.
+ * minimizing summed intra-cluster distance, until stable. The
+ * re-election step walks per-cluster member lists — O(sum |c|^2)
+ * total instead of O(k * n^2) — with results identical to the full
+ * scan.
  *
  * @param dm       Pairwise distances.
  * @param k        Number of clusters (clamped to the item count).

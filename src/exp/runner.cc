@@ -156,6 +156,12 @@ runnerOptions(const Cli &cli)
     return opts;
 }
 
+int
+jobsFlag(const Cli &cli)
+{
+    return static_cast<int>(cli.getInt("jobs", 0));
+}
+
 ParallelRunner::ParallelRunner(RunnerOptions opts) : opts(opts) {}
 
 int

@@ -157,6 +157,13 @@ struct RunnerOptions
 RunnerOptions runnerOptions(const Cli &cli);
 
 /**
+ * The --jobs value for nested parallel kernels (e.g.
+ * core::DistanceMatrix::build), sharing the engine's convention:
+ * 0 (the default) means all hardware threads.
+ */
+int jobsFlag(const Cli &cli);
+
+/**
  * Executes a job list on a thread pool and merges the results by job
  * index. Results are bit-identical to a serial run at any thread
  * count: job bodies are pure functions of their configs, and slot i

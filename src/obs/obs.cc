@@ -53,6 +53,18 @@ counterName(Counter c)
         return "exp.jobs_completed";
       case Counter::FiInjections:
         return "fi.injections";
+      case Counter::ModelDistanceCells:
+        return "model.distance_cells";
+      case Counter::ModelDtwBandExact:
+        return "model.dtw_band_exact";
+      case Counter::ModelDtwBandFallbacks:
+        return "model.dtw_band_fallbacks";
+      case Counter::ModelDtwEarlyAbandons:
+        return "model.dtw_early_abandons";
+      case Counter::ModelLevBitParallel:
+        return "model.lev_bit_parallel";
+      case Counter::ModelLevDpFallbacks:
+        return "model.lev_dp_fallbacks";
       case Counter::Count_:
         break;
     }
@@ -104,6 +116,10 @@ profName(Prof p)
         return "sim.event_queue_pump";
       case Prof::DtwDistance:
         return "model.dtw";
+      case Prof::DtwBanded:
+        return "model.dtw_banded";
+      case Prof::DtwEarlyAbandon:
+        return "model.dtw_early_abandon";
       case Prof::LevenshteinDistance:
         return "model.levenshtein";
       case Prof::SignatureIdentify:

@@ -85,6 +85,12 @@ enum class Counter : std::uint16_t
     SchedStaleFallbacks,
     ExpJobsCompleted,
     FiInjections,
+    ModelDistanceCells,
+    ModelDtwBandExact,
+    ModelDtwBandFallbacks,
+    ModelDtwEarlyAbandons,
+    ModelLevBitParallel,
+    ModelLevDpFallbacks,
     Count_,
 };
 
@@ -137,6 +143,8 @@ enum class Prof : std::uint16_t
 {
     EventQueuePump,
     DtwDistance,
+    DtwBanded,
+    DtwEarlyAbandon,
     LevenshteinDistance,
     SignatureIdentify,
     DistanceMatrixBuild,

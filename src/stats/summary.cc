@@ -33,8 +33,23 @@ sortedQuantile(const std::vector<double> &sorted, double p)
 double
 quantile(std::vector<double> values, double p)
 {
-    std::sort(values.begin(), values.end());
-    return sortedQuantile(values, p);
+    // Selection, not a full sort: the result interpolates between the
+    // i-th and (i+1)-th order statistics, and nth_element yields both
+    // exactly (the second as the minimum of the right partition) in
+    // O(n) expected time. Values are identical to the sort-based
+    // version — order statistics are order statistics.
+    if (values.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double h = p * static_cast<double>(values.size() - 1);
+    const auto i = static_cast<std::size_t>(h);
+    const auto mid = values.begin() + static_cast<std::ptrdiff_t>(i);
+    std::nth_element(values.begin(), mid, values.end());
+    if (i + 1 >= values.size())
+        return *mid;
+    const double next = *std::min_element(mid + 1, values.end());
+    const double frac = h - static_cast<double>(i);
+    return *mid + frac * (next - *mid);
 }
 
 std::vector<double>

@@ -18,7 +18,8 @@ namespace rbv::stats {
  * interpolation between order statistics (type-7 quantile, matching
  * the common numpy/R default). Returns 0 for an empty sample.
  *
- * @param values Sample values; copied and sorted internally.
+ * @param values Sample values; copied, selected via nth_element
+ *               (O(n) expected, no full sort).
  * @param p      Quantile in [0, 1]; clamped.
  */
 double quantile(std::vector<double> values, double p);
