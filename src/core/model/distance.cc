@@ -134,6 +134,33 @@ dtwDistanceBanded(const MetricSeries &x, const MetricSeries &y,
                        scratch);
     }
 
+    // The certification threshold the banded result must beat.
+    const double lb_exit =
+        async_penalty * (2.0 * static_cast<double>(band + 1) -
+                         static_cast<double>(diff));
+    const double cert = lb_exit * 0.999;
+
+    // O(1) pre-check: every warp path pays the corner cells and one
+    // penalty per length-mismatch step, so this is a lower bound on
+    // the banded optimum. When it already exceeds the certification
+    // threshold, the banded DP cannot possibly certify — running it
+    // would be pure double work (the regression BENCH_distance.json
+    // recorded at len 512) — so go straight to the full kernel.
+    {
+        const double corner0 = std::abs(x.front() - y.front());
+        const double corner1 = (m > 1 || n > 1)
+                                   ? std::abs(x.back() - y.back())
+                                   : 0.0;
+        const double lb_pre = static_cast<double>(diff) *
+                                  async_penalty +
+                              corner0 + corner1;
+        if (lb_pre > cert) {
+            RBV_COUNT(ModelDtwBandSkips, 1);
+            return dtwFull(x.data(), m, y.data(), n, async_penalty,
+                           scratch);
+        }
+    }
+
     // Banded DP over cells with |i - j| <= band. Rows carry one
     // sentinel slot past the band edge so the recurrence can read
     // out-of-band neighbors as +inf without branching.
@@ -151,8 +178,10 @@ dtwDistanceBanded(const MetricSeries &x, const MetricSeries &y,
         hi = std::min(n - 1, i + band);
         const double xi = xs[i];
         std::size_t j = lo;
+        double row_min = Inf;
         if (lo == 0) {
-            cur[0] = prev[0] + std::abs(xi - ys[0]) + async_penalty;
+            row_min = cur[0] =
+                prev[0] + std::abs(xi - ys[0]) + async_penalty;
             j = 1;
         } else {
             cur[lo - 1] = Inf;
@@ -162,9 +191,21 @@ dtwDistanceBanded(const MetricSeries &x, const MetricSeries &y,
                                      prev[j] + async_penalty,
                                      cur[j - 1] + async_penalty);
             cur[j] = best + std::abs(xi - ys[j]);
+            row_min = std::min(row_min, cur[j]);
         }
         cur[hi + 1] = Inf;
         std::swap(prev, cur);
+        // Any in-band path crosses every row, and later steps only
+        // add nonnegative cost, so the row minimum bounds the banded
+        // optimum from below. Strictly above the certification
+        // threshold the guard below is already doomed: abandon the
+        // doomed half of the double work and go straight to full.
+        // (Strict >: a result exactly at the threshold still
+        // certifies, matching the guard's <=.)
+        if (row_min > cert) {
+            RBV_COUNT(ModelDtwBandSkips, 1);
+            return dtwFull(xs, m, ys, n, async_penalty, scratch);
+        }
     }
     const double banded = prev[n - 1];
 
@@ -175,10 +216,7 @@ dtwDistanceBanded(const MetricSeries &x, const MetricSeries &y,
     // outside path can beat it and the banded value is the exact
     // DTW. The 0.999 margin absorbs floating-point summation slack
     // on the conservative side.
-    const double lb_exit =
-        async_penalty * (2.0 * static_cast<double>(band + 1) -
-                         static_cast<double>(diff));
-    if (banded <= lb_exit * 0.999) {
+    if (banded <= cert) {
         RBV_COUNT(ModelDtwBandExact, 1);
         RBV_DCHECK(std::isfinite(banded),
                    "dtwDistanceBanded produced a non-finite value");

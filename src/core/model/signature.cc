@@ -24,15 +24,23 @@ SignatureBank::add(MetricSeries series, double cpu_cycles, int class_id)
     entries.push_back(std::move(e));
 }
 
-std::size_t
-SignatureBank::identify(const MetricSeries &partial) const
+void
+SignatureBank::replaceEntry(std::size_t i, MetricSeries series,
+                            double cpu_cycles, int class_id)
 {
-    RBV_PROF_SCOPE(SignatureIdentify);
-    if (entries.empty() || partial.empty())
-        return npos;
+    Entry &e = entries[i];
+    e.avgMetric = stats::mean(series);
+    e.series = std::move(series);
+    e.cpuCycles = cpu_cycles;
+    e.classId = class_id;
+}
 
-    std::size_t best = npos;
-    double best_d = std::numeric_limits<double>::infinity();
+SignatureBank::Match
+SignatureBank::matchPartial(const MetricSeries &partial) const
+{
+    Match m;
+    m.bestD = std::numeric_limits<double>::infinity();
+    m.secondD = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const auto &sig = entries[i].series;
         const std::size_t common = std::min(partial.size(), sig.size());
@@ -47,59 +55,49 @@ SignatureBank::identify(const MetricSeries &partial) const
         // Normalize by compared length to avoid favoring short
         // signatures.
         d /= static_cast<double>(partial.size());
-        if (d < best_d) {
-            best_d = d;
-            best = i;
+        if (d < m.bestD) {
+            m.secondD = m.bestD;
+            m.bestD = d;
+            m.best = i;
+        } else if (d < m.secondD) {
+            m.secondD = d;
         }
     }
-    return best;
+    return m;
+}
+
+std::size_t
+SignatureBank::identify(const MetricSeries &partial) const
+{
+    RBV_PROF_SCOPE(SignatureIdentify);
+    if (entries.empty() || partial.empty())
+        return npos;
+    return matchPartial(partial).best;
 }
 
 SignatureBank::Identification
 SignatureBank::identifyWithConfidence(const MetricSeries &partial,
                                       double floor) const
 {
-    // Duplicates identify()'s distance loop rather than refactoring
-    // it: the fast path must stay byte-identical when no confidence
-    // is requested.
     Identification out;
     if (entries.empty() || partial.empty())
         return out;
 
-    std::size_t best = npos;
-    double best_d = std::numeric_limits<double>::infinity();
-    double second_d = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        const auto &sig = entries[i].series;
-        const std::size_t common = std::min(partial.size(), sig.size());
-        double d = 0.0;
-        for (std::size_t k = 0; k < common; ++k)
-            d += std::abs(partial[k] - sig[k]);
-        for (std::size_t k = common; k < partial.size(); ++k)
-            d += std::abs(partial[k]);
-        d /= static_cast<double>(partial.size());
-        if (d < best_d) {
-            second_d = best_d;
-            best_d = d;
-            best = i;
-        } else if (d < second_d) {
-            second_d = d;
-        }
-    }
+    const Match m = matchPartial(partial);
 
     double confidence = 0.0;
     if (entries.size() == 1) {
         // No competitor to separate from; scale by closeness alone.
-        confidence = 1.0 / (1.0 + best_d);
-    } else if (second_d > 0.0) {
-        confidence = (second_d - best_d) / second_d;
+        confidence = 1.0 / (1.0 + m.bestD);
+    } else if (m.secondD > 0.0) {
+        confidence = (m.secondD - m.bestD) / m.secondD;
     }
     if (!std::isfinite(confidence))
         confidence = 0.0;
 
     if (confidence < floor)
         return out; // unknown request: refuse to guess
-    out.index = best;
+    out.index = m.best;
     out.confidence = confidence;
     return out;
 }

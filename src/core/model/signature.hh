@@ -46,6 +46,13 @@ class SignatureBank
     /** Add a completed request's signature to the bank. */
     void add(MetricSeries series, double cpu_cycles, int class_id);
 
+    /**
+     * Overwrite entry @p i in place (reservoir admission of the
+     * streaming bank); the bank size is unchanged.
+     */
+    void replaceEntry(std::size_t i, MetricSeries series,
+                      double cpu_cycles, int class_id);
+
     std::size_t size() const { return entries.size(); }
     const Entry &entry(std::size_t i) const { return entries[i]; }
     double binWidth() const { return binIns; }
@@ -87,6 +94,21 @@ class SignatureBank
     static constexpr std::size_t npos = ~std::size_t{0};
 
   private:
+    /** Best and runner-up of the L1-over-common-prefix match. */
+    struct Match
+    {
+        std::size_t best = npos;
+        double bestD = 0.0;
+        double secondD = 0.0;
+    };
+
+    /**
+     * The one distance loop both identify() entry points share: the
+     * runner-up falls out of the same scan for free, so tracking it
+     * never changes which entry wins.
+     */
+    Match matchPartial(const MetricSeries &partial) const;
+
     double binIns;
     std::vector<Entry> entries;
 };

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Streaming model core implementation.
+ */
+
+#include "core/model/streaming.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "core/model/distance.hh"
+
+namespace rbv::core {
+
+bool
+StreamingSignatureBank::offer(MetricSeries series, double cpu_cycles,
+                              int class_id)
+{
+    ++seen;
+    if (bankImpl.size() < cap) {
+        bankImpl.add(std::move(series), cpu_cycles, class_id);
+        return true;
+    }
+    // Algorithm R: entry t survives with probability cap/t, keeping
+    // the bank a uniform sample of everything offered so far.
+    const std::size_t j =
+        static_cast<std::size_t>(rng.uniformInt(seen));
+    if (j >= cap)
+        return false;
+    bankImpl.replaceEntry(j, std::move(series), cpu_cycles, class_id);
+    return true;
+}
+
+void
+StreamingClusterModel::observe(MetricSeries series)
+{
+    const std::size_t w = cfg.window ? cfg.window : 1;
+    if (ring.size() < w) {
+        ring.push_back(std::move(series));
+    } else {
+        ring[head] = std::move(series);
+        head = (head + 1) % w;
+    }
+    ++seen;
+    ++sinceRecluster;
+    if (cfg.reclusterEvery != 0 && sinceRecluster >= cfg.reclusterEvery)
+        recluster();
+}
+
+std::vector<const MetricSeries *>
+StreamingClusterModel::windowInOrder() const
+{
+    std::vector<const MetricSeries *> out;
+    out.reserve(ring.size());
+    // head is the oldest entry once the ring wrapped; before that the
+    // ring is already in arrival order.
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        out.push_back(&ring[(head + i) % ring.size()]);
+    return out;
+}
+
+void
+StreamingClusterModel::recluster()
+{
+    sinceRecluster = 0;
+    if (ring.size() < cfg.k || ring.empty())
+        return;
+
+    const std::vector<const MetricSeries *> window = windowInOrder();
+
+    // CLARA-style sample: the whole window in arrival order when it
+    // fits (which is what makes a full-window recluster match the
+    // batch path exactly), otherwise a uniform draw without
+    // replacement via a partial Fisher-Yates shuffle.
+    std::vector<std::size_t> idx(window.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::size_t s = window.size();
+    if (cfg.sample != 0 && cfg.sample < window.size()) {
+        s = cfg.sample < cfg.k ? cfg.k : cfg.sample;
+        for (std::size_t i = 0; i < s; ++i) {
+            const std::size_t j =
+                i + static_cast<std::size_t>(
+                        rng.uniformInt(idx.size() - i));
+            std::swap(idx[i], idx[j]);
+        }
+    }
+
+    std::vector<const MetricSeries *> sample(s);
+    for (std::size_t i = 0; i < s; ++i)
+        sample[i] = window[idx[i]];
+
+    const DistanceMatrix dm = DistanceMatrix::build(
+        s,
+        [&](std::size_t i, std::size_t j) {
+            return dtwDistance(*sample[i], *sample[j],
+                               cfg.asyncPenalty);
+        },
+        cfg.jobs);
+    lastClustering = kMedoids(dm, cfg.k, rng);
+
+    meds.clear();
+    meds.reserve(lastClustering.medoids.size());
+    for (const std::size_t m : lastClustering.medoids)
+        meds.push_back(*sample[m]);
+    ++reclusters;
+}
+
+double
+StreamingClusterModel::scoreOf(const MetricSeries &series) const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &m : meds) {
+        const double d = dtwDistance(series, m, cfg.asyncPenalty);
+        if (d < best)
+            best = d;
+    }
+    return best;
+}
+
+std::size_t
+StreamingClusterModel::nearestMedoid(const MetricSeries &series) const
+{
+    std::size_t best = npos;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < meds.size(); ++i) {
+        const double d = dtwDistance(series, meds[i], cfg.asyncPenalty);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+WindowedAnomalyDetector::observe(MetricSeries series)
+{
+    const std::size_t w = cfg.window ? cfg.window : 1;
+    if (ring.size() < w) {
+        ring.push_back(std::move(series));
+    } else {
+        ring[head] = std::move(series);
+        head = (head + 1) % w;
+    }
+    ++seen;
+}
+
+CentroidAnomaly
+WindowedAnomalyDetector::evaluate() const
+{
+    std::vector<const MetricSeries *> window;
+    window.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        window.push_back(&ring[(head + i) % ring.size()]);
+    return detail::centroidAnomalyOver(
+        window.data(), window.size(), cfg.asyncPenalty, cfg.jobs);
+}
+
+bool
+RollingAnomalyScorer::observe(double score)
+{
+    const double thr = threshold();
+    const bool flag = thr > 0.0 && score > cfg.margin * thr;
+    scores.add(score);
+    decaying.add(score);
+    if (flag)
+        ++flagged;
+    return flag;
+}
+
+double
+RollingAnomalyScorer::threshold() const
+{
+    // Hold fire until the window has enough history for the quantile
+    // to mean something; otherwise everything early looks anomalous.
+    if (scores.size() < scores.capacity() / 2 || scores.size() < 8)
+        return 0.0;
+    return scores.quantile(cfg.quantile);
+}
+
+} // namespace rbv::core

@@ -68,6 +68,17 @@ Sampler::takeTimelines()
     return std::move(timelines);
 }
 
+Timeline
+Sampler::takeTimeline(os::RequestId id)
+{
+    const auto idx = static_cast<std::size_t>(id);
+    if (id == os::InvalidRequestId || idx >= timelines.size())
+        return Timeline{};
+    Timeline out = std::move(timelines[idx]);
+    timelines[idx] = Timeline{};
+    return out;
+}
+
 double
 Sampler::sinceLastSample(sim::CoreId core) const
 {

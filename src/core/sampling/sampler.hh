@@ -121,6 +121,13 @@ class Sampler : public os::KernelHooks
     /** Move all recorded timelines out of the sampler. */
     std::vector<Timeline> takeTimelines();
 
+    /**
+     * Move one request's timeline out and reset its slot, so a
+     * recycled request id (Kernel::releaseRequest) starts with a
+     * clean timeline. Returns an empty timeline if none recorded.
+     */
+    Timeline takeTimeline(os::RequestId id);
+
     /** Register an observer of sampled periods. */
     void
     addSampleObserver(SampleObserver obs)

@@ -132,9 +132,16 @@ namespace {
 
 /** Every flag any bench/example accepts, with its documentation. */
 const std::pair<const char *, const char *> FlagCatalogue[] = {
-    {"app", "application to simulate (web|tpcc|tpch|rubis|webwork)"},
+    {"app", "application to simulate (web|tpcc|tpch|rubis|webwork; "
+            "serve binaries also accept micromix)"},
+    {"arrival", "serving arrival process "
+                "(poisson|burst|diurnal|flash)"},
     {"bank", "signature-bank size per application (requests)"},
+    {"checkpoint-every",
+     "completed requests between serve checkpoint lines"},
     {"csv", "also write the per-request records as CSV to this path"},
+    {"duration", "simulated serving duration in seconds "
+                 "(when --requests is 0)"},
     {"faults", "fault-injection plan, e.g. "
                "\"irq-drop(p=0.2);req-stuck(p=0.05,mult=4)\" "
                "(see docs/FAULTS.md)"},
@@ -144,14 +151,21 @@ const std::pair<const char *, const char *> FlagCatalogue[] = {
     {"k", "number of k-medoids clusters"},
     {"metrics-out",
      "write merged obs counters/histograms (flat text) to this path"},
+    {"max-outstanding",
+     "serving admission cap: shed arrivals beyond this many "
+     "outstanding requests"},
     {"ms", "measurement window per sampling variant (milliseconds)"},
     {"no-hist", "suppress the distribution histogram output"},
+    {"qps", "serving target arrival rate (requests per simulated "
+            "second)"},
     {"prof", "print the obs top-N self-profile table to stderr"},
     {"quiet", "suppress per-job progress lines on stderr"},
     {"requests", "requests to simulate per run"},
     {"retries", "extra attempts per failing job before it is marked "
                 "failed"},
     {"rows", "rows of the per-request behavior table to print"},
+    {"rss-log", "append host RSS samples per serve checkpoint to "
+                "this path (host-side; never on stdout)"},
     {"rubis", "RUBiS requests for the mixed-workload phase"},
     {"runs", "seed replicates per configuration"},
     {"seed", "base RNG seed (replicate r runs with a derived seed)"},
@@ -163,6 +177,8 @@ const std::pair<const char *, const char *> FlagCatalogue[] = {
      "path"},
     {"webwork-requests", "WeBWorK requests (its reference solutions "
                          "are heavier than other apps' requests)"},
+    {"window", "serving sliding-window size (series kept by the "
+               "streaming cluster model)"},
 };
 
 } // namespace

@@ -72,6 +72,8 @@ class SyscallGapCollector : public os::KernelHooks
     std::vector<CoreState> state;
 };
 
+} // namespace
+
 std::unique_ptr<core::Sampler>
 makeSampler(const ScenarioConfig &cfg, os::Kernel &kernel,
             double period_us)
@@ -101,8 +103,6 @@ makeSampler(const ScenarioConfig &cfg, os::Kernel &kernel,
     }
     return nullptr;
 }
-
-} // namespace
 
 double
 effectivePeriodUs(const ScenarioConfig &cfg)

@@ -184,6 +184,15 @@ ScenarioResult runScenario(const ScenarioConfig &cfg);
 /** Resolve the effective interrupt period of a config (us). */
 double effectivePeriodUs(const ScenarioConfig &cfg);
 
+/**
+ * Build the sampler a config asks for (null for SamplerKind::None).
+ * Shared between runScenario() and the serving loop so both modes
+ * attach identical instrumentation.
+ */
+std::unique_ptr<core::Sampler> makeSampler(const ScenarioConfig &cfg,
+                                           os::Kernel &kernel,
+                                           double period_us);
+
 } // namespace rbv::exp
 
 #endif // RBV_EXP_SCENARIO_HH

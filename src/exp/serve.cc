@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Serving loop implementation.
+ */
+
+#include "exp/serve.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/model/streaming.hh"
+#include "fi/session.hh"
+#include "wl/micromix.hh"
+#include "wl/server.hh"
+
+namespace rbv::exp {
+
+namespace {
+
+/** Host VmRSS/VmHWM in KiB from /proc/self/status (0 if absent). */
+struct HostRss
+{
+    long rssKb = 0;
+    long hwmKb = 0;
+};
+
+HostRss
+readHostRss()
+{
+    HostRss r;
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        long *dst = nullptr;
+        if (line.rfind("VmRSS:", 0) == 0)
+            dst = &r.rssKb;
+        else if (line.rfind("VmHWM:", 0) == 0)
+            dst = &r.hwmKb;
+        if (!dst)
+            continue;
+        std::istringstream ls(line.substr(6));
+        ls >> *dst;
+    }
+    return r;
+}
+
+/** Fixed-precision formatting so checkpoint lines are stable. */
+std::string
+fmt(double v, int prec = 3)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+void
+writeCheckpointLine(std::ostream &out, const ServeCheckpoint &cp)
+{
+    const double acc =
+        cp.idAttempts > 0 ? static_cast<double>(cp.idCorrect) /
+                                static_cast<double>(cp.idAttempts)
+                          : 0.0;
+    out << "[serve] epoch " << cp.epoch << " t_ms " << fmt(cp.simMs)
+        << " arrivals " << cp.arrivals << " completed "
+        << cp.completed << " inflight " << cp.outstanding << " shed "
+        << cp.shed << " p50_us " << fmt(cp.p50LatencyUs, 1)
+        << " p99_us " << fmt(cp.p99LatencyUs, 1) << " cpi "
+        << fmt(cp.cpiMean) << " cov " << fmt(cp.cpiCov) << " id_acc "
+        << fmt(acc) << " bank " << cp.bankSize << " reclusters "
+        << cp.reclusters << " flagged " << cp.flagged << " stalled "
+        << cp.stalled << " slots " << cp.requestSlots << "\n";
+}
+
+} // namespace
+
+std::unique_ptr<wl::Generator>
+makeServeGenerator(const std::string &name)
+{
+    if (name == "micromix")
+        return std::make_unique<wl::MicroMixGen>();
+    return wl::makeGenerator(wl::appFromName(name));
+}
+
+ServeResult
+runServe(const ServeConfig &cfg, std::ostream &out)
+{
+    RBV_PROF_SCOPE(RunScenario);
+    auto gen = cfg.appName.empty()
+                   ? wl::makeGenerator(cfg.base.app)
+                   : makeServeGenerator(cfg.appName);
+    const double period_us = cfg.base.samplingPeriodUs > 0.0
+                                 ? cfg.base.samplingPeriodUs
+                                 : gen->defaultSamplingPeriodUs();
+
+    // --- Machine & kernel (identical to the batch runner) ---
+    sim::EventQueue eq;
+    sim::MachineConfig mc;
+    mc.numCores = cfg.base.numCores;
+    mc.coresPerL2Domain = std::min(2, cfg.base.numCores);
+    if (cfg.base.l2CapacityMiB > 0.0)
+        mc.l2CapacityBytes = cfg.base.l2CapacityMiB * 1024.0 * 1024.0;
+    sim::Machine machine(mc, eq);
+    os::Kernel kernel(machine, os::KernelConfig{}, cfg.base.policy);
+    machine.setClient(&kernel);
+
+    // --- Open-loop workload ---
+    wl::ServerApp app(kernel, gen->tiers());
+    wl::OpenLoopDriver::Config dc;
+    dc.arrival = cfg.arrival;
+    dc.targetRequests = cfg.targetRequests;
+    dc.maxOutstanding = cfg.maxOutstanding;
+    wl::OpenLoopDriver driver(kernel, app, *gen,
+                              stats::Rng(cfg.base.seed), dc);
+
+    // --- Instrumentation ---
+    std::unique_ptr<core::Sampler> sampler =
+        makeSampler(cfg.base, kernel, period_us);
+    if (sampler && cfg.base.onSamplerReady)
+        cfg.base.onSamplerReady(kernel, *sampler);
+
+    // --- Fault injection (dormant without a plan) ---
+    std::unique_ptr<fi::FaultSession> faultSession;
+    if (cfg.base.faults && cfg.base.faults->hasScenarioFaults()) {
+        faultSession = std::make_unique<fi::FaultSession>(
+            *cfg.base.faults, cfg.base.seed);
+        faultSession->attach(kernel);
+        if (sampler)
+            sampler->setFaults(faultSession.get());
+    }
+
+    // --- Streaming models (seeded independently of the workload) ---
+    stats::Rng modelRng(cfg.base.seed + 7777);
+    core::StreamingSignatureBank bank(cfg.binIns, cfg.bankCapacity,
+                                      modelRng.split());
+    core::StreamingClusterModel::Config cc;
+    cc.window = cfg.window;
+    cc.sample = cfg.sample;
+    cc.k = cfg.k;
+    cc.reclusterEvery = cfg.reclusterEvery;
+    core::StreamingClusterModel cluster(cc, modelRng.split());
+    core::RollingAnomalyScorer::Config rc;
+    rc.window = cfg.scoreWindow;
+    rc.quantile = cfg.scoreQuantile;
+    core::RollingAnomalyScorer scorer(rc);
+
+    // --- Windowed serving statistics ---
+    stats::SlidingQuantile latencies(8192);
+    stats::EwmaMeanVar cpi(0.02);
+
+    ServeResult result;
+    std::ofstream rssOut;
+    if (!cfg.rssLog.empty())
+        rssOut.open(cfg.rssLog);
+
+    auto checkpoint = [&](std::size_t completed_now) {
+        RBV_PROF_SCOPE(ServeCheckpoint);
+        RBV_COUNT(ServeCheckpoints, 1);
+        ServeCheckpoint cp;
+        cp.epoch = result.checkpoints.size() + 1;
+        cp.simMs = sim::cyclesToMs(static_cast<double>(eq.now()));
+        cp.arrivals = driver.arrivals();
+        cp.completed = completed_now;
+        cp.outstanding = driver.outstanding();
+        cp.shed = driver.shed();
+        cp.p50LatencyUs = latencies.median();
+        cp.p99LatencyUs = latencies.quantile(0.99);
+        cp.cpiMean = cpi.mean();
+        cp.cpiCov = cpi.cov();
+        cp.idAttempts = result.idAttempts;
+        cp.idCorrect = result.idCorrect;
+        cp.idUnknown = result.idUnknown;
+        cp.bankSize = bank.bank().size();
+        cp.reclusters = cluster.reclusterCount();
+        cp.flagged = scorer.flaggedCount();
+        cp.stalled = result.stalled;
+        cp.requestSlots = kernel.numRequests();
+        result.checkpoints.push_back(cp);
+        if (!cfg.quiet)
+            writeCheckpointLine(out, cp);
+
+        // Host-side views: never on stdout, so fixed-seed runs stay
+        // byte-identical while RSS flatness remains checkable.
+        if (rssOut.is_open()) {
+            const HostRss rss = readHostRss();
+            rssOut << cp.epoch << " " << cp.completed << " "
+                   << rss.rssKb << " " << rss.hwmKb << "\n";
+            rssOut.flush();
+        }
+        if (cfg.session && !cfg.metricsOut.empty()) {
+            std::ofstream ms(cfg.metricsOut);
+            cfg.session->writeMetrics(ms);
+        }
+    };
+
+    driver.setCompletionCallback([&](os::RequestId id,
+                                     const wl::RequestSpec &spec) {
+        // Always reclaim the timeline slot, even off the model path:
+        // recycled ids must never inherit stale periods.
+        core::Timeline tl = sampler ? sampler->takeTimeline(id)
+                                    : core::Timeline{};
+        const os::RequestInfo &info = kernel.request(id);
+
+        latencies.add(sim::cyclesToUs(
+            static_cast<double>(info.completed - info.injected)));
+        cpi.add(info.cpi());
+
+        // Stuck-request detection (fi req-stuck): attributed work
+        // far beyond the spec marks the run degraded.
+        const double specified = spec.totalInstructions();
+        if (specified > 0.0 &&
+            info.totals.instructions > cfg.stuckFactor * specified) {
+            ++result.stalled;
+            RBV_COUNT(ServeStalledRequests, 1);
+        }
+
+        const std::size_t n = driver.completed();
+        if (cfg.modelEvery > 1 && n % cfg.modelEvery != 0) {
+            if (cfg.checkpointEvery > 0 &&
+                n % cfg.checkpointEvery == 0)
+                checkpoint(n);
+            return;
+        }
+
+        core::MetricSeries series = core::binByInstructions(
+            tl, cfg.binIns, core::Metric::L2RefsPerIns);
+        if (series.size() >= 2) {
+            // Online identification accuracy: once the reservoir is
+            // warm, match the request's first-half prefix before
+            // admitting its full signature.
+            if (bank.offered() >= bank.capacity()) {
+                core::MetricSeries prefix =
+                    core::binPrefixByInstructions(
+                        tl, cfg.binIns, 0.5 * specified,
+                        core::Metric::L2RefsPerIns);
+                if (!prefix.empty()) {
+                    const auto ident =
+                        bank.identify(prefix, cfg.idFloor);
+                    if (ident.index == core::SignatureBank::npos) {
+                        ++result.idUnknown;
+                    } else {
+                        ++result.idAttempts;
+                        if (bank.bank().entry(ident.index).classId ==
+                            spec.classId)
+                            ++result.idCorrect;
+                    }
+                }
+            }
+            bank.offer(series, info.totals.cycles, spec.classId);
+            cluster.observe(series);
+            if (!cluster.medoids().empty())
+                scorer.observe(cluster.scoreOf(series));
+        }
+
+        if (cfg.checkpointEvery > 0 && n % cfg.checkpointEvery == 0)
+            checkpoint(n);
+    });
+
+    // --- Run ---
+    kernel.start();
+    if (sampler)
+        sampler->start();
+    if (faultSession)
+        faultSession->start();
+    driver.start();
+    const sim::Tick limit =
+        cfg.targetRequests > 0
+            ? cfg.base.maxTicks
+            : static_cast<sim::Tick>(
+                  sim::usToCycles(cfg.durationSec * 1.0e6));
+    eq.runUntil(limit);
+
+    // --- Summary ---
+    result.arrivals = driver.arrivals();
+    result.injected = driver.injected();
+    result.completed = driver.completed();
+    result.shed = driver.shed();
+    result.flagged = scorer.flaggedCount();
+    result.reclusters = cluster.reclusterCount();
+    result.bankSize = bank.bank().size();
+    result.p50LatencyUs = latencies.median();
+    result.p99LatencyUs = latencies.quantile(0.99);
+    result.wallCycles = eq.now();
+    result.requestSlots = kernel.numRequests();
+    if (faultSession)
+        result.injections = faultSession->takeLog();
+
+    out << "[serve] done app " << gen->appName() << " arrivals "
+        << result.arrivals << " completed " << result.completed
+        << " shed " << result.shed << " t_ms "
+        << fmt(sim::cyclesToMs(static_cast<double>(result.wallCycles)))
+        << " p50_us " << fmt(result.p50LatencyUs, 1) << " p99_us "
+        << fmt(result.p99LatencyUs, 1) << " id_acc "
+        << fmt(result.idAccuracy()) << " bank " << result.bankSize
+        << " reclusters " << result.reclusters << " flagged "
+        << result.flagged << " stalled " << result.stalled
+        << " slots " << result.requestSlots << "\n";
+
+    return result;
+}
+
+} // namespace rbv::exp

@@ -65,6 +65,18 @@ counterName(Counter c)
         return "model.lev_bit_parallel";
       case Counter::ModelLevDpFallbacks:
         return "model.lev_dp_fallbacks";
+      case Counter::ModelDtwBandSkips:
+        return "model.dtw_band_skips";
+      case Counter::WlArrivals:
+        return "wl.arrivals";
+      case Counter::WlShedRequests:
+        return "wl.shed_requests";
+      case Counter::OsRequestSlotsRecycled:
+        return "os.request_slots_recycled";
+      case Counter::ServeCheckpoints:
+        return "serve.checkpoints";
+      case Counter::ServeStalledRequests:
+        return "serve.stalled_requests";
       case Counter::Count_:
         break;
     }
@@ -132,6 +144,8 @@ profName(Prof p)
         return "sim.water_fill";
       case Prof::RunScenario:
         return "exp.run_scenario";
+      case Prof::ServeCheckpoint:
+        return "serve.checkpoint";
       case Prof::Count_:
         break;
     }

@@ -91,6 +91,12 @@ enum class Counter : std::uint16_t
     ModelDtwEarlyAbandons,
     ModelLevBitParallel,
     ModelLevDpFallbacks,
+    ModelDtwBandSkips,
+    WlArrivals,
+    WlShedRequests,
+    OsRequestSlotsRecycled,
+    ServeCheckpoints,
+    ServeStalledRequests,
     Count_,
 };
 
@@ -151,6 +157,7 @@ enum class Prof : std::uint16_t
     KMedoids,
     WaterFill,
     RunScenario,
+    ServeCheckpoint,
     Count_,
 };
 

@@ -87,15 +87,47 @@ RequestId
 Kernel::registerRequest(std::string class_name, const void *spec)
 {
     RequestInfo info;
-    info.id = static_cast<RequestId>(reqs.size());
+    if (!freeSlots.empty()) {
+        info.id = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        info.id = static_cast<RequestId>(reqs.size());
+        reqs.emplace_back();
+    }
+    info.seq = numRegistered;
     info.className = std::move(class_name);
     info.spec = spec;
     info.injected = now();
-    reqs.push_back(std::move(info));
-    obs::simSpanBegin("os.request", "request", reqs.back().id,
+    const RequestId id = info.id;
+    reqs[static_cast<std::size_t>(id)] = std::move(info);
+    ++numRegistered;
+    obs::simSpanBegin("os.request", "request", id,
                       sim::cyclesToUs(static_cast<double>(now())),
-                      "id", static_cast<double>(reqs.back().id));
-    return reqs.back().id;
+                      "id", static_cast<double>(id));
+    return id;
+}
+
+bool
+Kernel::releaseRequest(RequestId id)
+{
+    if (id == InvalidRequestId ||
+        static_cast<std::size_t>(id) >= reqs.size())
+        return false;
+    if (!reqs[static_cast<std::size_t>(id)].done)
+        return false;
+    // The id must be fully quiescent: a core with the request still
+    // in context would attribute counters into the reused slot, and
+    // a thread holding the id between the reply and its next recv
+    // would re-adopt it.
+    for (sim::CoreId c = 0; c < mach.numCores(); ++c)
+        if (coreSched[c].request == id)
+            return false;
+    for (const auto &t : threads)
+        if (t->state != ThreadState::Exited && t->request == id)
+            return false;
+    reqs[static_cast<std::size_t>(id)] = RequestInfo{};
+    freeSlots.push_back(id);
+    return true;
 }
 
 void
@@ -133,7 +165,7 @@ Kernel::completeRequest(RequestId id)
                                                  info.injected)));
     obs::simSpanEnd("os.request", "request", id,
                     sim::cyclesToUs(static_cast<double>(now())));
-    RBV_CHECK(numCompleted <= reqs.size());
+    RBV_CHECK(numCompleted <= numRegistered);
     for (auto *h : hooks)
         h->onRequestComplete(info);
 }
@@ -346,8 +378,12 @@ Kernel::runThread(sim::CoreId core, ThreadId tid)
             double ins = exec->instructions;
             // A stuck/looping request re-executes its work: the
             // fault layer scales the segment (1.0 when dormant).
-            if (faults != nullptr)
-                ins *= faults->execMultiplier(t.request);
+            // Keyed by the registration sequence so recycled slot
+            // ids draw fresh verdicts (seq == id without recycling).
+            if (faults != nullptr && t.request != InvalidRequestId) {
+                ins *= faults->execMultiplier(static_cast<RequestId>(
+                    reqs[static_cast<std::size_t>(t.request)].seq));
+            }
             mach.setWork(core, exec->params, ins);
             return;
         }

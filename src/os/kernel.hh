@@ -119,6 +119,17 @@ class Kernel : public sim::CoreClient
 
     /** Mark a request complete (called from a reply-channel sink). */
     void completeRequest(RequestId id);
+
+    /**
+     * Recycle the record of a completed request. Returns false —
+     * and releases nothing — while the id is still referenced (in
+     * context on a core, or held by a thread between the reply and
+     * its next recv); callers retry later. On success the slot id
+     * is reused by a future registerRequest, which is what keeps a
+     * serving run's kernel state bounded. Batch runs never call
+     * this, so their id assignment is unchanged.
+     */
+    bool releaseRequest(RequestId id);
     /// @}
 
     /** @name Introspection */
@@ -136,6 +147,10 @@ class Kernel : public sim::CoreClient
     RequestInfo &requestMutable(RequestId id);
     std::size_t numRequests() const { return reqs.size(); }
     std::size_t completedRequests() const { return numCompleted; }
+    /** Requests ever registered (monotonic; ≥ numRequests()). */
+    std::size_t registeredRequests() const { return numRegistered; }
+    /** Slots currently on the free list. */
+    std::size_t freeRequestSlots() const { return freeSlots.size(); }
 
     const KernelStats &stats() const { return kstats; }
     SchedulerPolicy &policy() { return *sched; }
@@ -253,10 +268,12 @@ class Kernel : public sim::CoreClient
     std::vector<ChannelState> channels;
     std::vector<CoreSched> coreSched;
     std::vector<RequestInfo> reqs;
+    std::vector<RequestId> freeSlots;
     std::vector<KernelHooks *> hooks;
     KernelFaults *faults = nullptr;
 
     std::size_t numCompleted = 0;
+    std::size_t numRegistered = 0;
     bool started = false;
     KernelStats kstats;
 };

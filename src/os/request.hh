@@ -29,6 +29,14 @@ struct RequestInfo
 {
     RequestId id = InvalidRequestId;
 
+    /**
+     * Registration sequence number: unique across the run even when
+     * slots (and therefore ids) are recycled by the serving mode.
+     * Without recycling, seq == id. Per-request fault decisions hash
+     * this, not the id, so a recycled slot is not condemned forever.
+     */
+    std::uint64_t seq = 0;
+
     /** Workload-defined class name (e.g., "tpcc.new_order"). */
     std::string className;
 

@@ -1,16 +1,19 @@
 /**
  * @file
  * Online (streaming) statistics: Welford mean/variance, weighted
- * coefficient of variation (paper Eq. 1), and weighted root mean square
- * error (paper Eq. 7).
+ * coefficient of variation (paper Eq. 1), weighted root mean square
+ * error (paper Eq. 7), and the windowed/decaying variants backing the
+ * serving mode's rolling scores (EWMA CoV, sliding quantiles).
  */
 
 #ifndef RBV_STATS_ONLINE_HH
 #define RBV_STATS_ONLINE_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace rbv::stats {
 
@@ -165,6 +168,155 @@ class WeightedRmse
   private:
     double sumT = 0.0;
     double sumTE2 = 0.0;
+};
+
+/**
+ * Exponentially weighted moving average with bias-corrected warmup.
+ *
+ * value() divides the raw accumulator by (1 - (1-alpha)^n) so the
+ * estimate is unbiased from the first observation instead of starting
+ * at zero; after ~3/alpha observations the correction vanishes.
+ */
+class Ewma
+{
+  public:
+    explicit Ewma(double alpha_ = 0.05) : alpha(alpha_) {}
+
+    void
+    add(double x)
+    {
+        raw = (1.0 - alpha) * raw + alpha * x;
+        weight = (1.0 - alpha) * weight + alpha;
+        ++n;
+    }
+
+    std::size_t count() const { return n; }
+
+    double
+    value() const
+    {
+        return weight > 0.0 ? raw / weight : 0.0;
+    }
+
+  private:
+    double alpha;
+    double raw = 0.0;
+    double weight = 0.0;
+    std::size_t n = 0;
+};
+
+/**
+ * Exponentially decaying mean / variance, the decaying analogue of
+ * OnlineMeanVar. Backs the serving mode's rolling CoV (the decaying
+ * form of the paper's Eq. 1): recent behavior dominates, old requests
+ * fade at rate (1 - alpha) per observation, and state is O(1).
+ */
+class EwmaMeanVar
+{
+  public:
+    explicit EwmaMeanVar(double alpha_ = 0.05)
+        : meanAcc(alpha_), sqAcc(alpha_)
+    {
+    }
+
+    void
+    add(double x)
+    {
+        meanAcc.add(x);
+        sqAcc.add(x * x);
+    }
+
+    std::size_t count() const { return meanAcc.count(); }
+    double mean() const { return meanAcc.value(); }
+
+    double
+    variance() const
+    {
+        const double mu = meanAcc.value();
+        double var = sqAcc.value() - mu * mu;
+        return var > 0.0 ? var : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Decaying coefficient of variation; 0 until the mean is nonzero. */
+    double
+    cov() const
+    {
+        const double mu = mean();
+        return mu != 0.0 ? stddev() / mu : 0.0;
+    }
+
+  private:
+    Ewma meanAcc;
+    Ewma sqAcc;
+};
+
+/**
+ * Exact quantiles over a sliding window of the last `capacity`
+ * observations. A ring buffer holds the window; quantile() selects
+ * with nth_element on a scratch copy. Memory is bounded by the
+ * window size and results are deterministic (no sketch error), which
+ * keeps serve checkpoints byte-identical across runs.
+ */
+class SlidingQuantile
+{
+  public:
+    explicit SlidingQuantile(std::size_t capacity_ = 1024)
+        : cap(capacity_ ? capacity_ : 1)
+    {
+        ring.reserve(cap);
+    }
+
+    void
+    add(double x)
+    {
+        if (ring.size() < cap) {
+            ring.push_back(x);
+        } else {
+            ring[head] = x;
+            head = (head + 1) % cap;
+        }
+        ++total;
+    }
+
+    /** Observations currently in the window. */
+    std::size_t size() const { return ring.size(); }
+    /** Observations ever added. */
+    std::size_t count() const { return total; }
+    std::size_t capacity() const { return cap; }
+
+    /**
+     * Quantile q in [0, 1] over the current window (nearest-rank on
+     * the lower side); 0 when the window is empty.
+     */
+    double
+    quantile(double q) const
+    {
+        if (ring.empty())
+            return 0.0;
+        scratch = ring;
+        double clamped = q;
+        if (clamped < 0.0)
+            clamped = 0.0;
+        if (clamped > 1.0)
+            clamped = 1.0;
+        std::size_t idx = static_cast<std::size_t>(
+            clamped * static_cast<double>(scratch.size() - 1));
+        std::nth_element(scratch.begin(),
+                         scratch.begin() + static_cast<std::ptrdiff_t>(idx),
+                         scratch.end());
+        return scratch[idx];
+    }
+
+    double median() const { return quantile(0.5); }
+
+  private:
+    std::size_t cap;
+    std::vector<double> ring;
+    std::size_t head = 0;
+    std::size_t total = 0;
+    mutable std::vector<double> scratch;
 };
 
 } // namespace rbv::stats

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Micro mix implementation: three classes separated in length, CPI,
+ * and L2 reference density.
+ */
+
+#include "wl/micromix.hh"
+
+#include "wl/builder.hh"
+
+namespace rbv::wl {
+
+namespace {
+
+/** Class access mix (a : b : c). */
+const std::vector<double> ClassMix = {0.5, 0.35, 0.15};
+
+/** Per-request multiplicative jitter on segment lengths. */
+double
+jitter(stats::Rng &rng, double sigma = 0.06)
+{
+    return rng.logNormal(0.0, sigma);
+}
+
+} // namespace
+
+std::unique_ptr<RequestSpec>
+MicroMixGen::generate(stats::Rng &rng)
+{
+    auto req = std::make_unique<RequestSpec>();
+    const int cls = static_cast<int>(rng.discrete(ClassMix));
+    req->classId = cls;
+    req->className = std::string("micro.") +
+                     static_cast<char>('a' + cls);
+
+    StageSpec stage;
+    stage.tier = 0;
+    auto &segs = stage.segments;
+    const double j = jitter(rng);
+
+    switch (cls) {
+      case 0:
+        // Class a: short, cache-friendly, low CPI.
+        segs.push_back(withSys(seg(2500 * j, 0.8, 0.006, 16 * KiB,
+                                   0.04),
+                               os::Sys::read, 600, 1.5));
+        segs.push_back(seg(2500 * j, 0.7, 0.005, 16 * KiB, 0.04));
+        break;
+      case 1:
+        // Class b: medium, denser memory traffic.
+        segs.push_back(withSys(seg(5000 * j, 1.6, 0.020, 128 * KiB,
+                                   0.12),
+                               os::Sys::recv, 800, 1.6));
+        segs.push_back(withSys(seg(10000 * j, 1.3, 0.016, 128 * KiB,
+                                   0.10),
+                               os::Sys::write, 800, 1.6));
+        break;
+      default:
+        // Class c: long, high CPI, large working set.
+        segs.push_back(withSys(seg(9000 * j, 2.4, 0.035, 1 * MiB,
+                                   0.30),
+                               os::Sys::read, 900, 1.7));
+        segs.push_back(seg(27000 * j, 2.1, 0.030, 1 * MiB, 0.28));
+        segs.push_back(withSys(seg(9000 * j, 1.2, 0.012, 64 * KiB,
+                                   0.08),
+                               os::Sys::send, 900, 1.6));
+        break;
+    }
+
+    req->stages.push_back(std::move(stage));
+    return req;
+}
+
+} // namespace rbv::wl

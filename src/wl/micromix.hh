@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal three-class microbenchmark mix for serving-mode smoke and
+ * throughput runs.
+ *
+ * The five paper applications model realistic request paths and cost
+ * tens of host-milliseconds per simulated request; a multi-million
+ * request serving smoke needs something far lighter. MicroMixGen
+ * emits tiny requests (a few thousand instructions, one or two
+ * system calls) from three well-separated classes so the streaming
+ * identification / clustering / anomaly stack still has structure to
+ * find, while the simulator sustains tens of thousands of requests
+ * per host second.
+ *
+ * Deliberately NOT part of the wl::App catalogue: the fig benches
+ * iterate allApps() and their stdout is pinned byte-for-byte, so the
+ * mix is selected by name in the serve tools only.
+ */
+
+#ifndef RBV_WL_MICROMIX_HH
+#define RBV_WL_MICROMIX_HH
+
+#include "wl/generator.hh"
+
+namespace rbv::wl {
+
+/** Tiny three-class request mix for `rbv serve` smoke runs. */
+class MicroMixGen : public Generator
+{
+  public:
+    std::string appName() const override { return "micromix"; }
+
+    std::vector<TierSpec>
+    tiers() const override
+    {
+        return {TierSpec{"micro", 8}};
+    }
+
+    std::unique_ptr<RequestSpec> generate(stats::Rng &rng) override;
+
+    double defaultSamplingPeriodUs() const override { return 2.0; }
+    int defaultConcurrency() const override { return 16; }
+    double thinkTimeUs() const override { return 50.0; }
+};
+
+} // namespace rbv::wl
+
+#endif // RBV_WL_MICROMIX_HH

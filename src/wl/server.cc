@@ -5,6 +5,7 @@
 
 #include "wl/server.hh"
 
+#include "obs/obs.hh"
 #include "wl/worker.hh"
 
 namespace rbv::wl {
@@ -98,6 +99,132 @@ LoadDriver::specOf(os::RequestId id) const
 {
     const auto idx = static_cast<std::size_t>(id);
     return idx < specByRequest.size() ? specByRequest[idx] : nullptr;
+}
+
+OpenLoopDriver::OpenLoopDriver(os::Kernel &kernel, ServerApp &app,
+                               Generator &gen, stats::Rng rng_,
+                               Config cfg_)
+    : kernel(kernel), app(app), gen(gen), rng(rng_), cfg(cfg_),
+      arrival(cfg.arrival, rng.split())
+{
+    kernel.setChannelSink(app.replyChannel(),
+                          [this](const os::Message &msg) {
+                              onReply(msg);
+                          });
+}
+
+void
+OpenLoopDriver::start()
+{
+    scheduleNextArrival();
+}
+
+void
+OpenLoopDriver::scheduleNextArrival()
+{
+    if (cfg.targetRequests != 0 && numArrivals >= cfg.targetRequests)
+        return;
+    const auto delay = static_cast<sim::Tick>(
+        sim::usToCycles(arrival.nextGapUs()));
+    kernel.eventQueue().scheduleIn(delay + 1, [this] { onArrival(); });
+}
+
+void
+OpenLoopDriver::onArrival()
+{
+    ++numArrivals;
+    RBV_COUNT(WlArrivals, 1);
+    scheduleNextArrival();
+
+    if (outstanding() >= cfg.maxOutstanding) {
+        // Admission control: shedding instead of queueing without
+        // bound is what keeps an overloaded run's memory flat.
+        ++numShed;
+        RBV_COUNT(WlShedRequests, 1);
+        maybeStop();
+        return;
+    }
+
+    auto spec = gen.generate(rng);
+    const RequestSpec *raw = spec.get();
+    const os::RequestId id =
+        kernel.registerRequest(raw->className, raw);
+    const auto idx = static_cast<std::size_t>(id);
+    if (specByRequest.size() <= idx)
+        specByRequest.resize(idx + 1);
+    specByRequest[idx] = std::move(spec);
+    ++numInjected;
+
+    os::Message msg;
+    msg.request = id;
+    msg.tag = 0;
+    msg.payload = raw;
+    kernel.post(app.tierChannel(raw->stages.front().tier), msg);
+}
+
+void
+OpenLoopDriver::onReply(const os::Message &msg)
+{
+    kernel.completeRequest(msg.request);
+    ++numCompleted;
+
+    const auto idx = static_cast<std::size_t>(msg.request);
+    if (onComplete && idx < specByRequest.size() &&
+        specByRequest[idx] != nullptr)
+        onComplete(msg.request, *specByRequest[idx]);
+
+    // The worker that sent this reply still dereferences the spec in
+    // its post-reply continuation (checking the final stage), so the
+    // spec must outlive the reply. It dies together with the kernel
+    // slot, whose release condition — no core context, no thread
+    // holds the id — is exactly "nothing can touch the spec anymore".
+    kernel.requestMutable(msg.request).spec = nullptr;
+    tryRelease(msg.request);
+
+    // Retry earlier deferred releases: ids pinned by a worker thread
+    // between its reply and its next recv fall quiescent as traffic
+    // moves on, so the pending list stays bounded by the thread count.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pendingRelease.size(); ++i) {
+        const os::RequestId id = pendingRelease[i];
+        if (!kernel.releaseRequest(id)) {
+            pendingRelease[kept++] = id;
+        } else {
+            specByRequest[static_cast<std::size_t>(id)].reset();
+            RBV_COUNT(OsRequestSlotsRecycled, 1);
+        }
+    }
+    pendingRelease.resize(kept);
+
+    maybeStop();
+}
+
+void
+OpenLoopDriver::tryRelease(os::RequestId id)
+{
+    if (kernel.releaseRequest(id)) {
+        specByRequest[static_cast<std::size_t>(id)].reset();
+        RBV_COUNT(OsRequestSlotsRecycled, 1);
+    } else {
+        pendingRelease.push_back(id);
+    }
+}
+
+void
+OpenLoopDriver::maybeStop()
+{
+    if (cfg.targetRequests == 0 || numArrivals < cfg.targetRequests)
+        return;
+    if (numCompleted >= numInjected)
+        kernel.eventQueue().requestStop();
+}
+
+const RequestSpec *
+OpenLoopDriver::specOf(os::RequestId id) const
+{
+    const auto idx = static_cast<std::size_t>(id);
+    return idx < specByRequest.size() ? specByRequest[idx].get()
+                                      : nullptr;
 }
 
 } // namespace rbv::wl

@@ -1,6 +1,9 @@
 /**
  * @file
- * Server application builder and closed-loop load driver.
+ * Server application builder and the two load drivers: the original
+ * closed-loop driver of the batch figure benches, and the open-loop
+ * driver behind `rbv_serve` (arrivals keep coming whether or not
+ * earlier requests finished).
  */
 
 #ifndef RBV_WL_SERVER_HH
@@ -12,6 +15,7 @@
 
 #include "os/kernel.hh"
 #include "stats/rng.hh"
+#include "wl/arrival.hh"
 #include "wl/generator.hh"
 #include "wl/spec.hh"
 
@@ -86,6 +90,92 @@ class LoadDriver
     std::vector<const RequestSpec *> specByRequest;
     std::size_t numInjected = 0;
     std::size_t numCompleted = 0;
+};
+
+/**
+ * Open-loop load driver: requests arrive on an ArrivalProcess
+ * schedule, independent of completions. Unlike the closed-loop
+ * driver it retains nothing per request — each spec lives only while
+ * its request is outstanding, and completed kernel request slots are
+ * recycled (Kernel::releaseRequest) as soon as they fall quiescent —
+ * so memory stays flat over arbitrarily long serving runs. Arrivals
+ * beyond a configurable outstanding cap are shed, which both models
+ * server-side admission control and bounds memory under overload.
+ */
+class OpenLoopDriver
+{
+  public:
+    struct Config
+    {
+        ArrivalConfig arrival;
+        /** Arrivals to generate; 0 = unbounded (duration-driven). */
+        std::size_t targetRequests = 0;
+        /** Shed arrivals beyond this many outstanding requests. */
+        std::size_t maxOutstanding = 4096;
+    };
+
+    /**
+     * Invoked on each completion, after the kernel froze the totals
+     * and before the request slot and spec are recycled: the last
+     * point at which kernel.request(id) and the spec are valid.
+     */
+    using CompletionCallback =
+        std::function<void(os::RequestId, const RequestSpec &)>;
+
+    OpenLoopDriver(os::Kernel &kernel, ServerApp &app, Generator &gen,
+                   stats::Rng rng, Config cfg);
+
+    /** Schedule the first arrival (call after Kernel::start). */
+    void start();
+
+    void
+    setCompletionCallback(CompletionCallback cb)
+    {
+        onComplete = std::move(cb);
+    }
+
+    /** Arrivals generated (injected + shed). */
+    std::size_t arrivals() const { return numArrivals; }
+    std::size_t injected() const { return numInjected; }
+    std::size_t completed() const { return numCompleted; }
+    /** Arrivals dropped at the admission cap. */
+    std::size_t shed() const { return numShed; }
+    std::size_t outstanding() const
+    {
+        return numInjected - numCompleted;
+    }
+    /** Completed ids awaiting a quiescent moment to recycle. */
+    std::size_t pendingReleases() const
+    {
+        return pendingRelease.size();
+    }
+
+    /** Spec of an outstanding request (nullptr once recycled). */
+    const RequestSpec *specOf(os::RequestId id) const;
+
+  private:
+    void scheduleNextArrival();
+    void onArrival();
+    void onReply(const os::Message &msg);
+    void tryRelease(os::RequestId id);
+    void maybeStop();
+
+    os::Kernel &kernel;
+    ServerApp &app;
+    Generator &gen;
+    stats::Rng rng;
+    Config cfg;
+    ArrivalProcess arrival;
+
+    /** Live specs, indexed by (recycled) request id — bounded. */
+    std::vector<std::unique_ptr<RequestSpec>> specByRequest;
+    std::vector<os::RequestId> pendingRelease;
+    CompletionCallback onComplete;
+
+    std::size_t numArrivals = 0;
+    std::size_t numInjected = 0;
+    std::size_t numCompleted = 0;
+    std::size_t numShed = 0;
 };
 
 } // namespace rbv::wl

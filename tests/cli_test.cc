@@ -25,9 +25,10 @@ namespace {
  * when the catalogue entry is missing.
  */
 const std::vector<std::string> BinaryFlags = {
-    "app",  "bank",    "csv",  "faults", "jobs", "k",    "ms",
-    "no-hist", "quiet", "requests", "retries", "rows", "rubis", "runs",
-    "seed", "tpch",    "webwork-requests",
+    "app",  "arrival", "bank", "checkpoint-every", "csv", "duration",
+    "faults", "jobs", "k", "max-outstanding", "ms", "no-hist", "qps",
+    "quiet", "requests", "retries", "rows", "rss-log", "rubis",
+    "runs", "seed", "tpch", "webwork-requests", "window",
 };
 
 TEST(FlagHelp, EveryBinaryFlagIsDocumented)
@@ -128,6 +129,33 @@ TEST(CliDeath, UnknownFlagStillExitsTwo)
                           {"seed", "requests"});
         },
         testing::ExitedWithCode(2), "unknown flag --request");
+}
+
+TEST(Cli, ServeFlagsParseWithTheDocumentedShapes)
+{
+    const char *argv[] = {"rbv_serve",       "--qps",     "25000",
+                          "--arrival=burst", "--duration", "2.5",
+                          "--checkpoint-every", "5000",   "--window",
+                          "256"};
+    const Cli cli(10, const_cast<char **>(argv),
+                  {"qps", "arrival", "duration", "checkpoint-every",
+                   "window"});
+    EXPECT_DOUBLE_EQ(cli.getDouble("qps", 0.0), 25000.0);
+    EXPECT_EQ(cli.getStr("arrival", ""), "burst");
+    EXPECT_DOUBLE_EQ(cli.getDouble("duration", 0.0), 2.5);
+    EXPECT_EQ(cli.getInt("checkpoint-every", 0), 5000);
+    EXPECT_EQ(cli.getInt("window", 0), 256);
+}
+
+TEST(CliDeath, ServeFlagTypoIsRejected)
+{
+    const char *argv[] = {"rbv_serve", "--qsp", "1000"};
+    EXPECT_EXIT(
+        {
+            const Cli cli(3, const_cast<char **>(argv),
+                          {"qps", "arrival", "duration"});
+        },
+        testing::ExitedWithCode(2), "unknown flag --qsp");
 }
 
 } // namespace
