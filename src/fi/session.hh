@@ -18,7 +18,7 @@
 #define RBV_FI_SESSION_HH
 
 #include <cstdint>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "core/sampling/faults.hh"
@@ -88,8 +88,13 @@ class FaultSession final : public core::SamplingFaults,
     stats::Rng sysRng;
     stats::Rng ctxRng;
 
-    /** Stuck requests already logged (log once per request). */
-    std::unordered_set<std::int64_t> stuckLogged;
+    /**
+     * Stuck requests already logged (log once per request). Ordered
+     * so any future iteration (dumping the set into a report) is
+     * deterministic; the set stays small, so the O(log n) insert is
+     * irrelevant.
+     */
+    std::set<std::int64_t> stuckLogged;
 
     /** Per-core "saturation logged" latch (log once per core). */
     std::vector<bool> saturationLogged;

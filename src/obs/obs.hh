@@ -533,8 +533,12 @@ class Session
     std::chrono::steady_clock::time_point epoch;
 
     mutable std::mutex mu;
-    std::map<std::uint32_t, std::unique_ptr<ThreadState>> threads;
-    std::map<std::uint32_t, std::string> simProcNames;
+    // Shared registries mutated from worker threads as they attach
+    // and detach; every touch outside construction must hold mu.
+    std::map<std::uint32_t, std::unique_ptr<ThreadState>>
+        threads; // rbvlint: guarded_by(mu)
+    std::map<std::uint32_t, std::string>
+        simProcNames; // rbvlint: guarded_by(mu)
 };
 
 /**

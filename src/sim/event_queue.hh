@@ -12,8 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -100,7 +100,11 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    std::unordered_map<EventId, Callback> pending;
+    // Ordered map: iteration (or a future drain/dump) follows event-id
+    // order, keeping replay output deterministic. The live set is
+    // bounded by in-flight events, so the O(log n) lookup is noise
+    // next to the heap operations.
+    std::map<EventId, Callback> pending;
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     EventId nextId = 1;

@@ -1,0 +1,13 @@
+// Call-graph fixture, TU A: rootFn reaches midFn (defined in TU B)
+// by name; the closure test checks cross-TU edges.
+namespace cg {
+
+void midFn(); // declaration only; the definition lives in TU B
+
+void
+rootFn()
+{
+    midFn();
+}
+
+} // namespace cg

@@ -1,0 +1,22 @@
+// Call-graph fixture, TU B: midFn -> leafFn; orphanFn is defined but
+// never called, so it must stay outside rootFn's closure.
+namespace cg {
+
+void
+leafFn()
+{
+}
+
+void
+midFn()
+{
+    leafFn();
+}
+
+void
+orphanFn()
+{
+    leafFn();
+}
+
+} // namespace cg

@@ -1,0 +1,24 @@
+// Library TU (linted under src/wl/helpers.cc) with mutable shared
+// state. On its own it is outside the per-file R2 directories and
+// clean; paired with r2_reach_runner.cc the call from run() makes it
+// reachable from the parallel runner and both variables are flagged.
+namespace wl {
+
+int counter = 0; // file-scope mutable: flagged when reachable
+
+int
+helperStep()
+{
+    static int calls = 0; // mutable static local: flagged when reachable
+    ++calls;
+    ++counter;
+    return calls;
+}
+
+int
+unrelated(int x)
+{
+    return x + 1;
+}
+
+} // namespace wl

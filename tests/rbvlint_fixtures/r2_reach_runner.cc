@@ -1,0 +1,12 @@
+// Synthetic parallel-runner TU (linted under src/exp/runner.cc): its
+// functions are the reachability roots for the tree-wide R2 pass.
+namespace exp {
+
+void
+run()
+{
+    void helperStep();
+    helperStep();
+}
+
+} // namespace exp

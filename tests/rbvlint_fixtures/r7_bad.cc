@@ -1,0 +1,36 @@
+// R7-det-iter positives: iteration over unordered containers in
+// result-bearing code (linted under the virtual path
+// src/core/model/fixture.cc, which makes every function here a
+// result-bearing root).
+#include <unordered_map>
+
+namespace model {
+
+class Agg
+{
+  public:
+    int
+    total()
+    {
+        int sum = 0;
+        for (const auto &kv : counts) // Site A: field iteration
+            sum += kv.second;
+        return sum;
+    }
+
+  private:
+    std::unordered_map<int, int> counts; // Site B: unordered field
+};
+
+int
+localIter()
+{
+    std::unordered_map<int, int> table;
+    table[1] = 2;
+    int s = 0;
+    for (const auto &kv : table) // Site A: local iteration
+        s += kv.second;
+    return s;
+}
+
+} // namespace model

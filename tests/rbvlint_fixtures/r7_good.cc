@@ -1,0 +1,27 @@
+// R7-det-iter negatives: ordered containers iterate fine, lookups
+// into unordered containers without iteration are fine, and the
+// inline pragma covers a deliberate exception.
+#include <map>
+#include <unordered_map>
+
+namespace model {
+
+class Agg
+{
+  public:
+    int
+    total()
+    {
+        int sum = 0;
+        for (const auto &kv : counts) // ordered: deterministic
+            sum += kv.second;
+        return sum + cache.count(0); // lookup only, no iteration
+    }
+
+  private:
+    std::map<int, int> counts;
+    // Never iterated (lookup cache); order cannot leak out.
+    std::unordered_map<int, int> cache; // rbvlint: allow(R7)
+};
+
+} // namespace model

@@ -1,0 +1,30 @@
+// R8-lock-discipline positives: a guarded field touched without the
+// mutex, and an annotation naming a non-mutex member.
+#include <mutex>
+#include <vector>
+
+namespace obs {
+
+class Registry
+{
+  public:
+    void
+    add(int k)
+    {
+        std::lock_guard<std::mutex> g(mu);
+        items.push_back(k);
+    }
+
+    int
+    unsafeSize() const
+    {
+        return static_cast<int>(items.size()); // no lock: violation
+    }
+
+  private:
+    std::mutex mu;
+    std::vector<int> items; // rbvlint: guarded_by(mu)
+    int epoch = 0;          // rbvlint: guarded_by(items)  <- not a mutex
+};
+
+} // namespace obs

@@ -1,0 +1,39 @@
+// R8-lock-discipline negatives: every touch holds the mutex, the
+// constructor initializes freely, and *Locked helpers are exempt by
+// contract (their callers hold the lock).
+#include <mutex>
+#include <vector>
+
+namespace obs {
+
+class Registry
+{
+  public:
+    Registry() { items.reserve(8); } // ctor exempt
+
+    void
+    add(int k)
+    {
+        std::lock_guard<std::mutex> g(mu);
+        items.push_back(k);
+    }
+
+    int
+    size() const
+    {
+        std::lock_guard<std::mutex> g(mu);
+        return sizeLocked();
+    }
+
+  private:
+    int
+    sizeLocked() const // *Locked: caller holds mu
+    {
+        return static_cast<int>(items.size());
+    }
+
+    mutable std::mutex mu;
+    std::vector<int> items; // rbvlint: guarded_by(mu)
+};
+
+} // namespace obs

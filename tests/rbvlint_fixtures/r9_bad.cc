@@ -1,0 +1,44 @@
+// R9-rng-stream positives (linted under src/wl/fixture.cc): shared,
+// unseeded, and static engines all break per-job stream isolation.
+#include "stats/rng.hh"
+
+namespace wl {
+
+stats::Rng g_rng{42}; // shared across jobs: violation at the decl
+
+double
+drawShared()
+{
+    return g_rng.uniform(); // draw on the shared engine: violation
+}
+
+class Worker
+{
+  public:
+    Worker() {}
+
+    double
+    step()
+    {
+        return rng.uniform(); // engine field, no seed ctor: violation
+    }
+
+  private:
+    stats::Rng rng;
+};
+
+double
+drawStatic()
+{
+    static stats::Rng r{99};
+    return r.uniform(); // static local engine: violation
+}
+
+double
+drawUnseeded()
+{
+    stats::Rng r;
+    return r.uniform(); // unseeded engine: violation
+}
+
+} // namespace wl

@@ -1,0 +1,36 @@
+// R9-rng-stream negatives: the three sanctioned stream shapes — a
+// caller-owned parameter, a (seed,id)-keyed local, and an engine
+// field of a class that takes its seed at construction.
+#include "stats/rng.hh"
+
+namespace wl {
+
+double
+drawParam(stats::Rng &rng)
+{
+    return rng.uniform(); // caller owns the stream
+}
+
+class Keyed
+{
+  public:
+    explicit Keyed(std::uint64_t seed) : rng(seed) {}
+
+    double
+    step()
+    {
+        return rng.uniform(); // field of a seed-taking class
+    }
+
+  private:
+    stats::Rng rng;
+};
+
+double
+drawLocal(std::uint64_t seed, std::uint64_t id)
+{
+    stats::Rng r{seed ^ id};
+    return r.uniform(); // keyed local stream
+}
+
+} // namespace wl

@@ -1,0 +1,22 @@
+// Raw-string lexing fixture: the literals below contain quotes,
+// comment lookalikes, and rule bait. If the lexer desyncs on any of
+// them, the violation count changes — either the bait fires or the
+// genuine call to rand() at the end goes unseen.
+namespace demo {
+
+const char *kJson =
+    R"({"cmd": "rand()", "note": "// not a comment", "q": "\"})";
+
+const char *kDelim = R"xy(quote " close )" still inside)xy";
+
+const char *kMultiline = R"(line one
+line two with srand(7) bait
+line three)";
+
+int
+bad()
+{
+    return rand(); // the one real violation in this file
+}
+
+} // namespace demo

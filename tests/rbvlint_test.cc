@@ -160,9 +160,13 @@ TEST(Allowlist, RejectsMalformedAndUnknownRules)
     EXPECT_FALSE(rbvlint::Allowlist::parse("R3\n", allow, err));
     EXPECT_FALSE(err.empty());
     EXPECT_FALSE(
-        rbvlint::Allowlist::parse("R9 src/foo.cc\n", allow, err));
+        rbvlint::Allowlist::parse("R42 src/foo.cc\n", allow, err));
     EXPECT_FALSE(
         rbvlint::Allowlist::parse("R3 a b c\n", allow, err));
+    // Duplicate entries are rejected (they hide stale suppressions).
+    EXPECT_FALSE(rbvlint::Allowlist::parse(
+        "R3 src/foo.cc\nR3 src/foo.cc\n", allow, err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
 }
 
 TEST(RuleIds, SpecMatchingAcceptsAllSpellings)
@@ -175,7 +179,9 @@ TEST(RuleIds, SpecMatchingAcceptsAllSpellings)
         rbvlint::ruleMatches("R2-global-state", "R2-global-state"));
     EXPECT_FALSE(rbvlint::ruleMatches("R1", "R2-global-state"));
     EXPECT_FALSE(rbvlint::ruleMatches("units", "R2-global-state"));
-    EXPECT_EQ(rbvlint::allRules().size(), 6u);
+    EXPECT_TRUE(rbvlint::ruleMatches("R7", "R7-det-iter"));
+    EXPECT_TRUE(rbvlint::ruleMatches("det-iter", "R7-det-iter"));
+    EXPECT_EQ(rbvlint::allRules().size(), 9u);
 }
 
 TEST(Determinism, RepeatedLintsAreIdentical)

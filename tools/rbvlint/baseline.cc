@@ -1,0 +1,102 @@
+/**
+ * @file
+ * rbvlint v2 baseline implementation.
+ */
+
+#include "rbvlint/baseline.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace rbvlint {
+
+std::string
+Baseline::key(const Violation &v)
+{
+    return v.rule + "|" + v.path + "|" + v.message;
+}
+
+bool
+Baseline::parse(const std::string &text, Baseline &out,
+                std::string &error)
+{
+    std::size_t start = 0;
+    int lineNo = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string line = text.substr(start, end - start);
+        start = end + 1;
+        ++lineNo;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+
+        std::size_t firstNonSpace = line.find_first_not_of(" \t");
+        if (firstNonSpace == std::string::npos ||
+            line[firstNonSpace] == '#')
+            continue;
+
+        const std::size_t p1 = line.find('|');
+        const std::size_t p2 =
+            p1 == std::string::npos ? std::string::npos
+                                    : line.find('|', p1 + 1);
+        if (p2 == std::string::npos) {
+            error = "baseline line " + std::to_string(lineNo) +
+                    ": expected rule|path|message, got: " + line;
+            return false;
+        }
+        out.entries.push_back(line);
+        if (start > text.size())
+            break;
+    }
+    return true;
+}
+
+void
+Baseline::add(const Violation &v)
+{
+    entries.push_back(key(v));
+}
+
+BaselineMatch
+Baseline::match(const std::vector<Violation> &findings) const
+{
+    BaselineMatch result;
+    std::map<std::string, int> budget;
+    for (const std::string &e : entries)
+        ++budget[e];
+
+    for (const Violation &v : findings) {
+        auto it = budget.find(key(v));
+        if (it != budget.end() && it->second > 0) {
+            --it->second;
+            result.baselined.push_back(v);
+        } else {
+            result.fresh.push_back(v);
+        }
+    }
+    for (const auto &[entry, remaining] : budget)
+        for (int k = 0; k < remaining; ++k)
+            result.stale.push_back(entry);
+    return result;
+}
+
+std::string
+Baseline::serialize() const
+{
+    std::vector<std::string> sorted = entries;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out =
+        "# rbvlint baseline: grandfathered findings, one\n"
+        "# rule|path|message per line. New findings fail the run;\n"
+        "# entries that no longer match fail it too, so this file\n"
+        "# only ever shrinks. Regenerate with --write-baseline.\n";
+    for (const std::string &e : sorted) {
+        out += e;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace rbvlint

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * rbvlint v2 baseline: grandfathered findings.
+ *
+ * A baseline file holds one `rule|path|message` line per accepted
+ * pre-existing finding (no line numbers, so ordinary edits above a
+ * finding do not churn the file). At report time each fresh finding
+ * consumes one matching baseline entry; leftovers on either side are
+ * failures:
+ *
+ *  - a finding with no entry is NEW and fails the run;
+ *  - an entry with no finding is STALE and also fails the run, which
+ *    forces the committed baseline to shrink monotonically as debt is
+ *    paid down (CI additionally asserts the committed file matches a
+ *    fresh `--write-baseline` run bit for bit).
+ */
+
+#ifndef RBVLINT_BASELINE_HH
+#define RBVLINT_BASELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "rbvlint/rules.hh"
+
+namespace rbvlint {
+
+/** Result of matching fresh findings against a baseline. */
+struct BaselineMatch
+{
+    std::vector<Violation> fresh;     ///< Not in the baseline: fail.
+    std::vector<Violation> baselined; ///< Matched an entry: accepted.
+    std::vector<std::string> stale;   ///< Unmatched entries: fail.
+};
+
+class Baseline
+{
+  public:
+    /**
+     * Parse baseline text: one `rule|path|message` per line, '#'
+     * comments and blank lines ignored. Returns false with @p error
+     * set on a line with fewer than two '|' separators.
+     */
+    static bool parse(const std::string &text, Baseline &out,
+                      std::string &error);
+
+    /** Add one accepted finding. */
+    void add(const Violation &v);
+
+    std::size_t size() const { return entries.size(); }
+
+    /**
+     * Match @p findings against the baseline. Duplicate entries
+     * match multiset-style: two identical baseline lines absorb at
+     * most two identical findings.
+     */
+    BaselineMatch match(const std::vector<Violation> &findings) const;
+
+    /** Serialize, sorted, with a header comment. */
+    std::string serialize() const;
+
+    /** The canonical `rule|path|message` key for one finding. */
+    static std::string key(const Violation &v);
+
+  private:
+    std::vector<std::string> entries;
+};
+
+} // namespace rbvlint
+
+#endif // RBVLINT_BASELINE_HH

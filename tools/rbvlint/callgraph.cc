@@ -1,0 +1,84 @@
+/**
+ * @file
+ * rbvlint v2 call-graph construction and reachability.
+ */
+
+#include "rbvlint/callgraph.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace rbvlint {
+
+CallGraph::CallGraph(const std::vector<TuUnit> &units) : units_(&units)
+{
+    for (std::size_t u = 0; u < units.size(); ++u)
+        for (std::size_t f = 0; f < units[u].syms.functions.size();
+             ++f) {
+            byName_[units[u].syms.functions[f].name].push_back(
+                nodes.size());
+            nodes.push_back(FuncRef{u, f});
+        }
+
+    edges.resize(nodes.size());
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+        std::vector<std::size_t> &out = edges[id];
+        for (const CallSite &cs : fn(id).calls) {
+            auto it = byName_.find(cs.name);
+            if (it == byName_.end())
+                continue;
+            out.insert(out.end(), it->second.begin(),
+                       it->second.end());
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+}
+
+const std::vector<std::size_t> &
+CallGraph::byName(const std::string &name) const
+{
+    static const std::vector<std::size_t> empty;
+    auto it = byName_.find(name);
+    return it == byName_.end() ? empty : it->second;
+}
+
+std::vector<std::size_t>
+CallGraph::rootsInPaths(const std::vector<std::string> &prefixes) const
+{
+    std::vector<std::size_t> roots;
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+        const std::string &path = pathOf(id);
+        for (const std::string &p : prefixes)
+            if (path.size() >= p.size() &&
+                path.compare(0, p.size(), p) == 0) {
+                roots.push_back(id);
+                break;
+            }
+    }
+    return roots;
+}
+
+std::vector<bool>
+CallGraph::calleeClosure(const std::vector<std::size_t> &roots) const
+{
+    std::vector<bool> seen(nodes.size(), false);
+    std::deque<std::size_t> work;
+    for (std::size_t r : roots)
+        if (r < seen.size() && !seen[r]) {
+            seen[r] = true;
+            work.push_back(r);
+        }
+    while (!work.empty()) {
+        const std::size_t id = work.front();
+        work.pop_front();
+        for (std::size_t next : edges[id])
+            if (!seen[next]) {
+                seen[next] = true;
+                work.push_back(next);
+            }
+    }
+    return seen;
+}
+
+} // namespace rbvlint

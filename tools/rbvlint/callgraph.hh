@@ -1,0 +1,78 @@
+/**
+ * @file
+ * rbvlint v2 whole-tree call graph.
+ *
+ * Nodes are every FunctionDef parsed from every translation unit;
+ * edges are name-resolved call sites (a call `foo(...)` links to every
+ * parsed function named `foo`, regardless of class — deliberate
+ * over-approximation, since the scanner has no type information).
+ * The passes only consume reachability closures, so extra edges cost
+ * precision, never soundness, for the "does X flow to Y" questions
+ * the rules ask.
+ */
+
+#ifndef RBVLINT_CALLGRAPH_HH
+#define RBVLINT_CALLGRAPH_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rbvlint/parser.hh"
+
+namespace rbvlint {
+
+/** Global function id: (unit index, function index) flattened. */
+struct FuncRef
+{
+    std::size_t unit;
+    std::size_t func;
+};
+
+class CallGraph
+{
+  public:
+    /** Build from all parsed units; @p units must outlive the graph. */
+    explicit CallGraph(const std::vector<TuUnit> &units);
+
+    std::size_t size() const { return nodes.size(); }
+
+    const FuncRef &ref(std::size_t id) const { return nodes[id]; }
+
+    const FunctionDef &
+    fn(std::size_t id) const
+    {
+        const FuncRef &r = nodes[id];
+        return units_->at(r.unit).syms.functions[r.func];
+    }
+
+    const std::string &
+    pathOf(std::size_t id) const
+    {
+        return units_->at(nodes[id].unit).path;
+    }
+
+    /** Ids of every function whose name is @p name. */
+    const std::vector<std::size_t> &byName(const std::string &name) const;
+
+    /** Ids of functions defined in files starting with any prefix. */
+    std::vector<std::size_t>
+    rootsInPaths(const std::vector<std::string> &prefixes) const;
+
+    /**
+     * Forward closure: every function reachable from @p roots along
+     * call edges, roots included. Indexed by function id.
+     */
+    std::vector<bool> calleeClosure(const std::vector<std::size_t> &roots) const;
+
+  private:
+    const std::vector<TuUnit> *units_;
+    std::vector<FuncRef> nodes;
+    std::map<std::string, std::vector<std::size_t>> byName_;
+    std::vector<std::vector<std::size_t>> edges; ///< id -> callee ids.
+};
+
+} // namespace rbvlint
+
+#endif // RBVLINT_CALLGRAPH_HH

@@ -25,22 +25,30 @@ identCont(char c)
 }
 
 /**
- * Extract allow pragmas from one comment's text. Accepted forms:
+ * Extract pragmas from one comment's text. Accepted forms:
  *   rbvlint: allow(R2)
  *   rbvlint: allow(global-state, units)
+ *   rbvlint: guarded_by(mu)
  */
 void
 parsePragmas(const std::string &comment, int line, bool standalone,
-             std::vector<AllowPragma> &out)
+             std::vector<AllowPragma> &allows,
+             std::vector<GuardPragma> &guards)
 {
     const std::string tag = "rbvlint:";
     std::size_t at = comment.find(tag);
     if (at == std::string::npos)
         return;
-    at = comment.find("allow", at + tag.size());
-    if (at == std::string::npos)
+    const std::size_t allowAt = comment.find("allow", at + tag.size());
+    const std::size_t guardAt =
+        comment.find("guarded_by", at + tag.size());
+    const bool isGuard =
+        guardAt != std::string::npos &&
+        (allowAt == std::string::npos || guardAt < allowAt);
+    const std::size_t kw = isGuard ? guardAt : allowAt;
+    if (kw == std::string::npos)
         return;
-    const std::size_t open = comment.find('(', at);
+    const std::size_t open = comment.find('(', kw);
     if (open == std::string::npos)
         return;
     const std::size_t close = comment.find(')', open);
@@ -50,9 +58,15 @@ parsePragmas(const std::string &comment, int line, bool standalone,
     std::string cur;
     auto flush = [&] {
         if (!cur.empty()) {
-            out.push_back(AllowPragma{line, cur});
-            if (standalone)
-                out.push_back(AllowPragma{line + 1, cur});
+            if (isGuard) {
+                guards.push_back(GuardPragma{line, cur});
+                if (standalone)
+                    guards.push_back(GuardPragma{line + 1, cur});
+            } else {
+                allows.push_back(AllowPragma{line, cur});
+                if (standalone)
+                    allows.push_back(AllowPragma{line + 1, cur});
+            }
             cur.clear();
         }
     };
@@ -121,7 +135,8 @@ lex(const std::string &text)
                 body.push_back(text[i]);
                 ++i;
             }
-            parsePragmas(body, at, lastTokenLine != at, res.allows);
+            parsePragmas(body, at, lastTokenLine != at, res.allows,
+                         res.guards);
             continue;
         }
 
@@ -139,7 +154,7 @@ lex(const std::string &text)
             // A block comment is standalone when nothing preceded it
             // on its first line and it closes at end of a line.
             const bool standalone = lastTokenLine != at;
-            parsePragmas(body, at, standalone, res.allows);
+            parsePragmas(body, at, standalone, res.allows, res.guards);
             continue;
         }
 
@@ -157,8 +172,8 @@ lex(const std::string &text)
             continue;
         }
 
-        // String literal (handles escapes; raw strings are treated
-        // as plain strings, which is fine for linting purposes).
+        // String literal (handles escapes; raw strings are handled
+        // by the identifier scanner below, which sees their prefix).
         if (c == '"') {
             const int at = line;
             advance(1);
@@ -197,6 +212,30 @@ lex(const std::string &text)
             while (i < n && identCont(text[i])) {
                 word.push_back(text[i]);
                 ++i;
+            }
+            // Raw string literal: R"delim( ... )delim". The prefix
+            // lexes as an identifier ending in R directly followed by
+            // a quote; the contents (which may hold quotes, escapes,
+            // and //-lookalikes) are skipped verbatim up to the
+            // matching )delim" so tokenization never desyncs.
+            if (i < n && text[i] == '"' &&
+                (word == "R" || word == "LR" || word == "uR" ||
+                 word == "UR" || word == "u8R")) {
+                advance(1); // opening quote
+                std::string delim;
+                while (i < n && text[i] != '(' && text[i] != '"' &&
+                       text[i] != ')' && text[i] != '\\' &&
+                       text[i] != '\n' && delim.size() < 16) {
+                    delim.push_back(text[i]);
+                    advance(1);
+                }
+                advance(1); // opening '('
+                const std::string closer = ")" + delim + "\"";
+                const std::size_t end = text.find(closer, i);
+                advance((end == std::string::npos ? n : end + closer.size()) - i);
+                res.tokens.push_back(Token{Tok::String, "", at});
+                lastTokenLine = at;
+                continue;
             }
             res.tokens.push_back(Token{Tok::Ident, word, at});
             lastTokenLine = at;

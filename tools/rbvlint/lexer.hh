@@ -45,10 +45,22 @@ struct AllowPragma
     std::string rule; ///< Rule spec as written; "*" allows all.
 };
 
+/**
+ * One `rbvlint: guarded_by(<mutex>)` annotation. It binds the field
+ * declared on its line (or, when the comment stands alone, on the
+ * following line) to the named mutex member for R8-lock-discipline.
+ */
+struct GuardPragma
+{
+    int line;
+    std::string mutexName;
+};
+
 struct LexResult
 {
     std::vector<Token> tokens;
     std::vector<AllowPragma> allows;
+    std::vector<GuardPragma> guards;
     std::vector<std::string> rawLines; ///< Verbatim source lines.
 };
 

@@ -1,0 +1,444 @@
+/**
+ * @file
+ * rbvlint v2 interprocedural pass implementations.
+ */
+
+#include "rbvlint/passes.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace rbvlint {
+
+namespace {
+
+constexpr char kR2[] = "R2-global-state";
+constexpr char kR7[] = "R7-det-iter";
+constexpr char kR8[] = "R8-lock-discipline";
+constexpr char kR9[] = "R9-rng-stream";
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+underSrc(const std::string &path)
+{
+    return startsWith(path, "src/");
+}
+
+/** Directories the per-file R2 rule already covers unconditionally. */
+bool
+perFileR2Dir(const std::string &path)
+{
+    return startsWith(path, "src/sim/") ||
+           startsWith(path, "src/core/") ||
+           startsWith(path, "src/os/");
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Shared suppression: inline pragmas plus the allowlist. */
+class Emitter
+{
+  public:
+    Emitter(const Allowlist &allowlist, std::vector<Violation> &out)
+        : allowlist(allowlist), out(out)
+    {
+    }
+
+    void
+    emit(const TuUnit &unit, int line, const char *rule,
+         std::string message)
+    {
+        for (const AllowPragma &p : unit.lex.allows)
+            if (p.line == line && ruleMatches(p.rule, rule))
+                return;
+        if (allowlist.allows(rule, unit.path))
+            return;
+        out.push_back(
+            Violation{unit.path, line, rule, std::move(message)});
+    }
+
+  private:
+    const Allowlist &allowlist;
+    std::vector<Violation> &out;
+};
+
+/** Cross-TU class knowledge: fields by class, seeding discipline. */
+struct ClassInfo
+{
+    std::vector<const FieldDef *> fields;
+    bool seedCtor = false;
+};
+
+std::map<std::string, ClassInfo>
+collectClasses(const std::vector<TuUnit> &units)
+{
+    std::map<std::string, ClassInfo> info;
+    for (const TuUnit &u : units) {
+        for (const FieldDef &fd : u.syms.fields)
+            info[fd.className].fields.push_back(&fd);
+        for (const ClassDef &cd : u.syms.classes)
+            if (cd.seedCtor)
+                info[cd.name].seedCtor = true;
+    }
+    return info;
+}
+
+const FieldDef *
+findField(const std::map<std::string, ClassInfo> &classes,
+          const std::string &className, const std::string &name)
+{
+    auto it = classes.find(className);
+    if (it == classes.end())
+        return nullptr;
+    for (const FieldDef *fd : it->second.fields)
+        if (fd->name == name)
+            return fd;
+    return nullptr;
+}
+
+// ---- R7-det-iter. -------------------------------------------------
+
+void
+passDetIter(const std::vector<TuUnit> &units, const CallGraph &graph,
+            const std::map<std::string, ClassInfo> &classes,
+            Emitter &em)
+{
+    // Result-bearing: everything the experiment drivers, observers,
+    // and model builders call, transitively — whatever runs there can
+    // leak container order into reports, metrics, or model state.
+    const std::vector<bool> bearing = graph.calleeClosure(
+        graph.rootsInPaths({"src/exp/", "src/obs/",
+                            "src/core/model/"}));
+
+    std::set<std::string> bearingClasses;
+    for (std::size_t id = 0; id < graph.size(); ++id)
+        if (bearing[id] && !graph.fn(id).className.empty())
+            bearingClasses.insert(graph.fn(id).className);
+
+    // Site A: iteration inside a result-bearing function over a
+    // container the parser can attribute.
+    for (std::size_t id = 0; id < graph.size(); ++id) {
+        if (!bearing[id] || !underSrc(graph.pathOf(id)))
+            continue;
+        const FunctionDef &fn = graph.fn(id);
+        const TuUnit &unit = units[graph.ref(id).unit];
+        std::set<int> flaggedLines;
+        for (const IterSite &it : fn.iters) {
+            if (it.object.find('.') != std::string::npos)
+                continue; // chained receiver: unresolvable
+            bool unordered = false;
+            for (const LocalVar &lv : fn.locals)
+                if (lv.name == it.object && lv.unordered)
+                    unordered = true;
+            if (!unordered && !fn.className.empty()) {
+                const FieldDef *fd =
+                    findField(classes, fn.className, it.object);
+                if (fd && fd->unordered)
+                    unordered = true;
+            }
+            if (!unordered || !flaggedLines.insert(it.line).second)
+                continue;
+            em.emit(unit, it.line, kR7,
+                    "iteration over unordered container '" +
+                        it.object + "' in result-bearing function '" +
+                        fn.name +
+                        "'; order is nondeterministic — use an "
+                        "ordered container or sort first");
+        }
+    }
+
+    // Site B: an unordered field of a class whose methods are
+    // result-bearing is a standing hazard even before anyone writes
+    // the loop — the next `for (auto &e : field)` silently breaks
+    // byte-identical output.
+    for (const TuUnit &unit : units) {
+        if (!underSrc(unit.path))
+            continue;
+        for (const FieldDef &fd : unit.syms.fields) {
+            if (!fd.unordered || fd.immutable ||
+                !bearingClasses.count(fd.className))
+                continue;
+            em.emit(unit, fd.line, kR7,
+                    "unordered container field '" + fd.name +
+                        "' in result-bearing class '" + fd.className +
+                        "'; iteration order is nondeterministic — "
+                        "use std::map/std::set");
+        }
+    }
+}
+
+// ---- R8-lock-discipline. ------------------------------------------
+
+/**
+ * Line of the first bare (or `this->`) mention of @p name inside
+ * @p fn's body; -1 when the function never touches it. Mentions
+ * through another object (`other.name`, `other->name`) belong to a
+ * different instance and do not count.
+ */
+int
+firstMention(const TuUnit &unit, const FunctionDef &fn,
+             const std::string &name)
+{
+    const std::vector<Token> &toks = unit.lex.tokens;
+    const std::size_t hi = std::min(fn.tokEnd, toks.size());
+    for (std::size_t i = fn.tokBegin; i < hi; ++i) {
+        if (toks[i].kind != Tok::Ident || toks[i].text != name)
+            continue;
+        if (i >= 2 && toks[i - 1].kind == Tok::Punct) {
+            if (toks[i - 1].text == "." &&
+                toks[i - 2].text != "this")
+                continue;
+            if (toks[i - 1].text == ">" && i >= 3 &&
+                toks[i - 2].text == "-" &&
+                toks[i - 3].text != "this")
+                continue;
+        }
+        return toks[i].line;
+    }
+    return -1;
+}
+
+void
+passLockDiscipline(const std::vector<TuUnit> &units,
+                   const CallGraph &graph,
+                   const std::map<std::string, ClassInfo> &classes,
+                   Emitter &em)
+{
+    for (const TuUnit &unit : units) {
+        for (const FieldDef &fd : unit.syms.fields) {
+            if (fd.guardedBy.empty())
+                continue;
+
+            const FieldDef *mu =
+                findField(classes, fd.className, fd.guardedBy);
+            if (!mu || !mu->mutex) {
+                em.emit(unit, fd.line, kR8,
+                        "guarded_by(" + fd.guardedBy + ") on '" +
+                            fd.name + "' does not name a mutex "
+                            "member of '" + fd.className + "'");
+                continue;
+            }
+
+            // Every member function that mentions the field must
+            // hold the mutex; constructors, destructors, and
+            // `*Locked` helpers (called under the lock by contract)
+            // are exempt.
+            for (std::size_t id = 0; id < graph.size(); ++id) {
+                const FunctionDef &fn = graph.fn(id);
+                if (fn.className != fd.className)
+                    continue;
+                if (fn.name == fd.className ||
+                    fn.name == "~" + fd.className ||
+                    endsWith(fn.name, "Locked"))
+                    continue;
+                if (std::find(fn.locksHeld.begin(),
+                              fn.locksHeld.end(),
+                              fd.guardedBy) != fn.locksHeld.end())
+                    continue;
+                const TuUnit &fu = units[graph.ref(id).unit];
+                const int line = firstMention(fu, fn, fd.name);
+                if (line < 0)
+                    continue;
+                em.emit(fu, line, kR8,
+                        "field '" + fd.name + "' (guarded by '" +
+                            fd.guardedBy + "') accessed in '" +
+                            fd.className + "::" + fn.name +
+                            "' without holding '" + fd.guardedBy +
+                            "'");
+            }
+        }
+    }
+}
+
+// ---- R9-rng-stream. -----------------------------------------------
+
+void
+passRngStream(const std::vector<TuUnit> &units, const CallGraph &graph,
+              const std::map<std::string, ClassInfo> &classes,
+              Emitter &em)
+{
+    // A namespace-scope engine is shared by every job in the process.
+    for (const TuUnit &unit : units) {
+        if (!underSrc(unit.path))
+            continue;
+        for (const NsVar &v : unit.syms.nsMutables)
+            if (v.engine)
+                em.emit(unit, v.line, kR9,
+                        "namespace-scope engine '" + v.name +
+                            "' is shared across jobs; use a "
+                            "per-injector stream or a (seed,id)-"
+                            "keyed local");
+    }
+
+    for (std::size_t id = 0; id < graph.size(); ++id) {
+        if (!underSrc(graph.pathOf(id)))
+            continue;
+        const FunctionDef &fn = graph.fn(id);
+        const TuUnit &unit = units[graph.ref(id).unit];
+        for (const DrawSite &d : fn.draws) {
+            // 1. Local engine in this function.
+            const LocalVar *local = nullptr;
+            for (const LocalVar &lv : fn.locals)
+                if (lv.engine && lv.name == d.object)
+                    local = &lv;
+            if (local) {
+                if (local->isStatic)
+                    em.emit(unit, d.line, kR9,
+                            "draw '" + d.method +
+                                "' on function-local static engine "
+                                "'" + d.object +
+                                "'; the stream is shared across "
+                                "calls and jobs");
+                else if (!local->seeded)
+                    em.emit(unit, d.line, kR9,
+                            "draw '" + d.method +
+                                "' on unseeded engine '" + d.object +
+                                "'; derive it from the experiment "
+                                "seed (or a (seed,id) key)");
+                continue;
+            }
+            // 2. A parameter: the caller owns the stream.
+            if (std::find(fn.params.begin(), fn.params.end(),
+                          d.object) != fn.params.end())
+                continue;
+            // 3. An engine field: fine iff the class is handed its
+            // seed or stream at construction.
+            if (!fn.className.empty()) {
+                const FieldDef *fd =
+                    findField(classes, fn.className, d.object);
+                if (fd && fd->engine) {
+                    auto it = classes.find(fn.className);
+                    const bool seeded =
+                        it != classes.end() && it->second.seedCtor;
+                    if (!seeded)
+                        em.emit(unit, d.line, kR9,
+                                "draw '" + d.method +
+                                    "' on engine field '" + d.object +
+                                    "' of '" + fn.className +
+                                    "', whose constructor takes no "
+                                    "seed or stream");
+                    continue;
+                }
+                if (fd)
+                    continue; // a non-engine field; not a draw
+            }
+            // 4. A shared engine at namespace scope in this TU.
+            for (const NsVar &v : unit.syms.nsMutables)
+                if (v.engine && v.name == d.object)
+                    em.emit(unit, d.line, kR9,
+                            "draw '" + d.method +
+                                "' on shared namespace-scope engine "
+                                "'" + d.object + "'");
+            // 5. Unresolvable receiver: stay silent.
+        }
+    }
+}
+
+// ---- Reachability-upgraded R2. ------------------------------------
+
+void
+passGlobalStateReach(const std::vector<TuUnit> &units,
+                     const CallGraph &graph, Emitter &em)
+{
+    const std::vector<bool> reach = graph.calleeClosure(
+        graph.rootsInPaths({"src/exp/runner.", "src/exp/serve."}));
+
+    std::vector<bool> unitReachable(units.size(), false);
+    for (std::size_t id = 0; id < graph.size(); ++id)
+        if (reach[id])
+            unitReachable[graph.ref(id).unit] = true;
+
+    // Mutable statics inside reachable functions.
+    for (std::size_t id = 0; id < graph.size(); ++id) {
+        if (!reach[id])
+            continue;
+        const std::string &path = graph.pathOf(id);
+        if (!underSrc(path) || perFileR2Dir(path))
+            continue;
+        const FunctionDef &fn = graph.fn(id);
+        const TuUnit &unit = units[graph.ref(id).unit];
+        for (const StaticLocal &s : fn.mutableStatics)
+            em.emit(unit, s.line, kR2,
+                    "mutable static local '" + s.name + "' in '" +
+                        fn.name +
+                        "' is reachable from the parallel "
+                        "runner/serve loop");
+    }
+
+    // Mutable file-scope variables in TUs that define reachable code.
+    for (std::size_t u = 0; u < units.size(); ++u) {
+        if (!unitReachable[u] || !underSrc(units[u].path) ||
+            perFileR2Dir(units[u].path))
+            continue;
+        for (const NsVar &v : units[u].syms.nsMutables)
+            em.emit(units[u], v.line, kR2,
+                    "mutable file-scope variable '" + v.name +
+                        "' is reachable from the parallel "
+                        "runner/serve loop");
+    }
+}
+
+} // namespace
+
+std::vector<Violation>
+runTreePasses(const std::vector<TuUnit> &units, const CallGraph &graph,
+              const Allowlist &allowlist)
+{
+    std::vector<Violation> out;
+    Emitter em(allowlist, out);
+    const std::map<std::string, ClassInfo> classes =
+        collectClasses(units);
+
+    passDetIter(units, graph, classes, em);
+    passLockDiscipline(units, graph, classes, em);
+    passRngStream(units, graph, classes, em);
+    passGlobalStateReach(units, graph, em);
+    return out;
+}
+
+std::vector<Violation>
+analyzeTree(const std::vector<TuUnit> &units,
+            const Allowlist &allowlist)
+{
+    std::vector<Violation> all;
+    for (const TuUnit &u : units) {
+        std::vector<Violation> v =
+            lintLexed(u.path, u.lex, allowlist);
+        all.insert(all.end(), v.begin(), v.end());
+    }
+
+    const CallGraph graph(units);
+    std::vector<Violation> tree =
+        runTreePasses(units, graph, allowlist);
+    all.insert(all.end(), tree.begin(), tree.end());
+
+    auto key = [](const Violation &v) {
+        return std::tie(v.path, v.line, v.rule, v.message);
+    };
+    std::sort(all.begin(), all.end(),
+              [&](const Violation &a, const Violation &b) {
+                  return key(a) < key(b);
+              });
+    all.erase(std::unique(all.begin(), all.end(),
+                          [&](const Violation &a, const Violation &b) {
+                              return key(a) == key(b);
+                          }),
+              all.end());
+    return all;
+}
+
+} // namespace rbvlint

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * rbvlint v2 interprocedural passes.
+ *
+ * Flow-insensitive whole-tree rules layered on parser.hh symbol
+ * tables and the callgraph.hh reachability closure:
+ *
+ *  - R7-det-iter:        iteration over std::unordered_{map,set,...}
+ *                        in (or as a field of a class with) functions
+ *                        whose results flow into reports, metrics, or
+ *                        model state — iteration order varies across
+ *                        libstdc++ versions and hash seeds, so any
+ *                        order-dependent aggregate breaks the repo's
+ *                        byte-identical determinism guarantee.
+ *  - R8-lock-discipline: fields annotated `// rbvlint: guarded_by(mu)`
+ *                        must only be touched by member functions that
+ *                        hold `mu` (lock_guard/unique_lock/scoped_lock
+ *                        or an explicit .lock()); constructors,
+ *                        destructors, and `*Locked` helpers are exempt
+ *                        by convention.
+ *  - R9-rng-stream:      every RNG draw must come from a per-injector
+ *                        stream or a (seed, id)-keyed engine — a
+ *                        seeded local, a parameter, or an engine field
+ *                        of a class whose constructor takes a seed or
+ *                        stream. Unseeded, static-local, and
+ *                        namespace-scope engines are shared across
+ *                        jobs and break run-to-run determinism under
+ *                        --jobs.
+ *  - R2-global-state:    reachability upgrade of the per-file rule —
+ *                        mutable statics and file-scope variables
+ *                        anywhere in src/ that are reachable from the
+ *                        parallel runner or the serve loop (the
+ *                        per-file rule already covers src/sim,
+ *                        src/core, src/os unconditionally; the tree
+ *                        pass extends it to the rest of src/).
+ *
+ * Suppression works exactly as for the per-file rules: inline
+ * `// rbvlint: allow(<rule>)` pragmas and allowlist entries.
+ */
+
+#ifndef RBVLINT_PASSES_HH
+#define RBVLINT_PASSES_HH
+
+#include <string>
+#include <vector>
+
+#include "rbvlint/callgraph.hh"
+#include "rbvlint/parser.hh"
+#include "rbvlint/rules.hh"
+
+namespace rbvlint {
+
+/** Run the interprocedural passes over all parsed units. */
+std::vector<Violation> runTreePasses(const std::vector<TuUnit> &units,
+                                     const CallGraph &graph,
+                                     const Allowlist &allowlist);
+
+/**
+ * Full v2 analysis: per-file rules (R1–R6) on every unit plus the
+ * tree passes, merged and sorted by (path, line, rule). This is what
+ * the driver and the tests call.
+ */
+std::vector<Violation> analyzeTree(const std::vector<TuUnit> &units,
+                                   const Allowlist &allowlist);
+
+} // namespace rbvlint
+
+#endif // RBVLINT_PASSES_HH

@@ -1,17 +1,31 @@
 /**
  * @file
- * rbvlint driver: walk the tree, lint every C++ file, report.
+ * rbvlint driver: walk the tree, run the per-file rules and the
+ * interprocedural passes, match against the baseline, report.
  *
  * Usage:
- *   rbvlint [--root DIR] [--allowlist FILE] [--quiet] [PATH...]
+ *   rbvlint [--root DIR] [--allowlist FILE] [--baseline FILE]
+ *           [--format text|json] [--write-baseline FILE]
+ *           [--warn-unused-allow] [--quiet] [PATH...]
  *
  * PATHs are files or directories relative to the root (default:
- * src bench tools examples, whichever exist). Exit status is 0 when
- * clean, 1 on violations, 2 on usage or I/O errors. Output order is
- * deterministic: files sorted by path, violations sorted by line.
+ * src bench tools examples, whichever exist). Every file is lexed and
+ * parsed into a per-TU symbol table; a whole-tree call graph then
+ * feeds the interprocedural passes (R7–R9, reachability-R2) alongside
+ * the per-file rules (R1–R6).
+ *
+ * Findings are matched against the committed baseline
+ * (<root>/tools/rbvlint/baseline.txt by default): baselined findings
+ * are reported but accepted, fresh findings fail the run, and stale
+ * baseline entries fail it too (the baseline only shrinks).
+ *
+ * Exit status is 0 when clean, 1 on fresh findings or stale baseline
+ * entries, 2 on usage or I/O errors. Output order is deterministic:
+ * violations sorted by (path, line, rule).
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -19,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "rbvlint/baseline.hh"
+#include "rbvlint/parser.hh"
+#include "rbvlint/passes.hh"
 #include "rbvlint/rules.hh"
 
 namespace fs = std::filesystem;
@@ -29,6 +46,10 @@ struct Options
 {
     fs::path root = ".";
     fs::path allowlistFile; ///< Empty: <root>/tools/rbvlint/allowlist.txt
+    fs::path baselineFile;  ///< Empty: <root>/tools/rbvlint/baseline.txt
+    fs::path writeBaseline; ///< Non-empty: regenerate and exit.
+    bool json = false;
+    bool warnUnusedAllow = false;
     bool quiet = false;
     std::vector<std::string> paths;
 };
@@ -36,7 +57,11 @@ struct Options
 int
 usage(std::ostream &os)
 {
-    os << "usage: rbvlint [--root DIR] [--allowlist FILE] [--quiet]"
+    os << "usage: rbvlint [--root DIR] [--allowlist FILE]"
+          " [--baseline FILE]\n"
+          "               [--format text|json]"
+          " [--write-baseline FILE]\n"
+          "               [--warn-unused-allow] [--quiet]"
           " [--list-rules] [PATH...]\n"
           "Lints C++ sources against the repo's determinism and\n"
           "hygiene rules. PATHs default to: src bench tools examples.\n";
@@ -74,6 +99,66 @@ readFile(const fs::path &p, std::string &out)
     return true;
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+jsonViolationArray(std::ostream &os, const char *name,
+                   const std::vector<rbvlint::Violation> &vs)
+{
+    os << "  \"" << name << "\": [";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ") << "{\"path\": \""
+           << jsonEscape(vs[i].path) << "\", \"line\": " << vs[i].line
+           << ", \"rule\": \"" << jsonEscape(vs[i].rule)
+           << "\", \"message\": \"" << jsonEscape(vs[i].message)
+           << "\"}";
+    }
+    os << (vs.empty() ? "]" : "\n  ]");
+}
+
+void
+jsonStringArray(std::ostream &os, const char *name,
+                const std::vector<std::string> &items)
+{
+    os << "  \"" << name << "\": [";
+    for (std::size_t i = 0; i < items.size(); ++i)
+        os << (i ? ", " : "") << "\"" << jsonEscape(items[i]) << "\"";
+    os << "]";
+}
+
 } // namespace
 
 int
@@ -88,6 +173,24 @@ main(int argc, char **argv)
             opt.root = argv[++i];
         } else if (arg == "--allowlist" && i + 1 < argc) {
             opt.allowlistFile = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            opt.baselineFile = argv[++i];
+        } else if (arg == "--write-baseline" && i + 1 < argc) {
+            opt.writeBaseline = argv[++i];
+        } else if (arg == "--format" && i + 1 < argc) {
+            const std::string fmt = argv[++i];
+            if (fmt == "json")
+                opt.json = true;
+            else if (fmt != "text")
+                return usage(std::cerr);
+        } else if (arg.rfind("--format=", 0) == 0) {
+            const std::string fmt = arg.substr(9);
+            if (fmt == "json")
+                opt.json = true;
+            else if (fmt != "text")
+                return usage(std::cerr);
+        } else if (arg == "--warn-unused-allow") {
+            opt.warnUnusedAllow = true;
         } else if (arg == "--quiet" || arg == "-q") {
             opt.quiet = true;
         } else if (arg == "--list-rules") {
@@ -140,6 +243,32 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Load the baseline (optional if the default file is absent; not
+    // applied when regenerating it).
+    rbvlint::Baseline baseline;
+    fs::path basePath = opt.baselineFile;
+    const bool baseExplicit = !basePath.empty();
+    if (!baseExplicit)
+        basePath = opt.root / "tools" / "rbvlint" / "baseline.txt";
+    if (opt.writeBaseline.empty() && fs::exists(basePath)) {
+        std::string text;
+        if (!readFile(basePath, text)) {
+            std::cerr << "rbvlint: cannot read baseline "
+                      << basePath.string() << "\n";
+            return 2;
+        }
+        std::string error;
+        if (!rbvlint::Baseline::parse(text, baseline, error)) {
+            std::cerr << "rbvlint: " << basePath.string() << ": "
+                      << error << "\n";
+            return 2;
+        }
+    } else if (baseExplicit && opt.writeBaseline.empty()) {
+        std::cerr << "rbvlint: baseline " << basePath.string()
+                  << " not found\n";
+        return 2;
+    }
+
     if (opt.paths.empty())
         for (const char *d : {"src", "bench", "tools", "examples"})
             if (fs::exists(opt.root / d))
@@ -168,27 +297,80 @@ main(int argc, char **argv)
               });
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    std::size_t violations = 0;
-    std::size_t dirtyFiles = 0;
+    // Lex + parse every file, then run the whole-tree analysis.
+    std::vector<rbvlint::TuUnit> units;
+    units.reserve(files.size());
     for (const auto &f : files) {
         std::string text;
         if (!readFile(f, text)) {
-            std::cerr << "rbvlint: cannot read " << f.string() << "\n";
+            std::cerr << "rbvlint: cannot read " << f.string()
+                      << "\n";
             return 2;
         }
-        const auto vs =
-            rbvlint::lintFile(relPath(f, opt.root), text, allowlist);
-        if (!vs.empty())
-            ++dirtyFiles;
-        violations += vs.size();
-        for (const auto &v : vs)
-            std::cout << v.path << ":" << v.line << ": [" << v.rule
-                      << "] " << v.message << "\n";
+        units.push_back(
+            rbvlint::makeUnit(relPath(f, opt.root), text));
+    }
+    const std::vector<rbvlint::Violation> findings =
+        rbvlint::analyzeTree(units, allowlist);
+
+    if (!opt.writeBaseline.empty()) {
+        rbvlint::Baseline fresh;
+        for (const auto &v : findings)
+            fresh.add(v);
+        std::ofstream out(opt.writeBaseline, std::ios::binary);
+        if (!out) {
+            std::cerr << "rbvlint: cannot write "
+                      << opt.writeBaseline.string() << "\n";
+            return 2;
+        }
+        out << fresh.serialize();
+        if (!opt.quiet)
+            std::cerr << "rbvlint: wrote " << findings.size()
+                      << " baseline entr"
+                      << (findings.size() == 1 ? "y" : "ies")
+                      << " to " << opt.writeBaseline.string() << "\n";
+        return 0;
     }
 
-    if (!opt.quiet)
-        std::cerr << "rbvlint: " << files.size() << " files, "
-                  << violations << " violation(s)"
-                  << (violations ? "" : " — clean") << "\n";
-    return violations ? 1 : 0;
+    const rbvlint::BaselineMatch matched = baseline.match(findings);
+    const std::vector<std::string> unusedAllow =
+        allowlist.unusedEntries();
+    const bool clean =
+        matched.fresh.empty() && matched.stale.empty();
+
+    if (opt.json) {
+        std::ostream &os = std::cout;
+        os << "{\n  \"version\": 2,\n  \"files\": " << files.size()
+           << ",\n";
+        jsonViolationArray(os, "violations", matched.fresh);
+        os << ",\n";
+        jsonViolationArray(os, "baselined", matched.baselined);
+        os << ",\n";
+        jsonStringArray(os, "stale_baseline", matched.stale);
+        os << ",\n";
+        jsonStringArray(os, "unused_allowlist", unusedAllow);
+        os << ",\n  \"clean\": " << (clean ? "true" : "false")
+           << "\n}\n";
+    } else {
+        for (const auto &v : matched.fresh)
+            std::cout << v.path << ":" << v.line << ": [" << v.rule
+                      << "] " << v.message << "\n";
+        for (const auto &e : matched.stale)
+            std::cerr << "rbvlint: stale baseline entry: " << e
+                      << "\n";
+        if (opt.warnUnusedAllow)
+            for (const auto &e : unusedAllow)
+                std::cerr << "rbvlint: warning: unused allowlist "
+                             "entry: "
+                          << e << "\n";
+        if (!opt.quiet)
+            std::cerr << "rbvlint: " << files.size() << " files, "
+                      << matched.fresh.size() << " violation(s), "
+                      << matched.baselined.size() << " baselined, "
+                      << matched.stale.size()
+                      << " stale baseline entr"
+                      << (matched.stale.size() == 1 ? "y" : "ies")
+                      << (clean ? " — clean" : "") << "\n";
+    }
+    return clean ? 0 : 1;
 }

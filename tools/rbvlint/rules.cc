@@ -29,6 +29,9 @@ const char *const kR3 = "R3-io";
 const char *const kR4 = "R4-include";
 const char *const kR5 = "R5-units";
 const char *const kR6 = "R6-swallow";
+const char *const kR7 = "R7-det-iter";
+const char *const kR8 = "R8-lock-discipline";
+const char *const kR9 = "R9-rng-stream";
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
@@ -666,8 +669,8 @@ ruleMatches(const std::string &spec, const std::string &rule_id)
 const std::vector<std::string> &
 allRules()
 {
-    static const std::vector<std::string> rules = {kR1, kR2, kR3,
-                                                   kR4, kR5, kR6};
+    static const std::vector<std::string> rules = {
+        kR1, kR2, kR3, kR4, kR5, kR6, kR7, kR8, kR9};
     return rules;
 }
 
@@ -675,18 +678,32 @@ bool
 Allowlist::allows(const std::string &rule_id,
                   const std::string &path) const
 {
-    for (const auto &e : entries) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
         if (!ruleMatches(e.rule, rule_id))
             continue;
-        if (e.pathSuffix == "*" || e.pathSuffix == path)
+        const bool hit =
+            e.pathSuffix == "*" || e.pathSuffix == path ||
+            (!e.pathSuffix.empty() && e.pathSuffix.back() == '/' &&
+             startsWith(path, e.pathSuffix)) ||
+            endsWith(path, e.pathSuffix);
+        if (hit) {
+            used[i] = true;
             return true;
-        if (!e.pathSuffix.empty() && e.pathSuffix.back() == '/' &&
-            startsWith(path, e.pathSuffix))
-            return true;
-        if (endsWith(path, e.pathSuffix))
-            return true;
+        }
     }
     return false;
+}
+
+std::vector<std::string>
+Allowlist::unusedEntries() const
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (!used[i])
+            out.push_back(entries[i].rule + " " +
+                          entries[i].pathSuffix);
+    return out;
 }
 
 bool
@@ -722,6 +739,17 @@ Allowlist::parse(const std::string &text, Allowlist &out,
             error = err.str();
             return false;
         }
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (out.entries[i].rule == rule &&
+                out.entries[i].pathSuffix == suffix) {
+                std::ostringstream err;
+                err << "allowlist line " << lineno
+                    << ": duplicate entry '" << rule << " " << suffix
+                    << "'";
+                error = err.str();
+                return false;
+            }
+        }
         out.add(AllowEntry{rule, suffix});
     }
     return true;
@@ -733,6 +761,13 @@ lintFile(const std::string &path, const std::string &text,
 {
     const LexResult lr = lex(text);
     return Linter(path, lr, allowlist).run();
+}
+
+std::vector<Violation>
+lintLexed(const std::string &path, const LexResult &lex,
+          const Allowlist &allowlist)
+{
+    return Linter(path, lex, allowlist).run();
 }
 
 } // namespace rbvlint

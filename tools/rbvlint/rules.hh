@@ -1,9 +1,16 @@
 /**
  * @file
- * rbvlint rule engine.
+ * rbvlint rule engine: the per-file rules (R1–R6) and the shared
+ * violation/allowlist vocabulary used by every pass.
  *
- * Five repo-specific rules, each with a stable identifier used in
- * reports, allowlist entries, and inline escape pragmas:
+ * The interprocedural rules (R7-det-iter, R8-lock-discipline,
+ * R9-rng-stream, reachability-upgraded R2) are implemented in
+ * passes.hh on top of parser.hh symbol tables and callgraph.hh; they
+ * share this file's Violation type, rule-id spelling, pragma, and
+ * allowlist machinery.
+ *
+ * Per-file rules, each with a stable identifier used in reports,
+ * allowlist entries, and inline escape pragmas:
  *
  *  - R1-nondet:       no nondeterminism sources in src/ (rand(),
  *                     srand, std::random_device, time(),
@@ -30,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "rbvlint/lexer.hh"
+
 namespace rbvlint {
 
 struct Violation
@@ -50,7 +59,12 @@ struct AllowEntry
 class Allowlist
 {
   public:
-    void add(AllowEntry e) { entries.push_back(std::move(e)); }
+    void
+    add(AllowEntry e)
+    {
+        entries.push_back(std::move(e));
+        used.push_back(false);
+    }
 
     /** True if @p rule_id at @p path is exempted. */
     bool allows(const std::string &rule_id,
@@ -59,15 +73,24 @@ class Allowlist
     /**
      * Parse an allowlist file: one `<rule> <path-suffix>` pair per
      * line, '#' comments. Returns false (with @p error set) on a
-     * malformed line; parsing is all-or-nothing.
+     * malformed or duplicate line; parsing is all-or-nothing.
      */
     static bool parse(const std::string &text, Allowlist &out,
                       std::string &error);
 
     std::size_t size() const { return entries.size(); }
 
+    /**
+     * Entries that never suppressed anything since parse, formatted
+     * as written ("<rule> <path-suffix>"). Meaningful only after a
+     * full run; stale entries should be deleted.
+     */
+    std::vector<std::string> unusedEntries() const;
+
   private:
     std::vector<AllowEntry> entries;
+    /** Set by allows() so unused entries can be reported. */
+    mutable std::vector<bool> used;
 };
 
 /**
@@ -83,11 +106,18 @@ const std::vector<std::string> &allRules();
 /**
  * Lint one file. @p path must be repo-relative with forward slashes
  * (rule applicability is decided from it); @p text is the file
- * contents.
+ * contents. Runs the per-file rules only (R1–R6); the
+ * interprocedural passes (R7–R9, reachability-R2) live in passes.hh
+ * and need the whole tree.
  */
 std::vector<Violation> lintFile(const std::string &path,
                                 const std::string &text,
                                 const Allowlist &allowlist);
+
+/** Same, over an already-lexed file (the driver lexes once). */
+std::vector<Violation> lintLexed(const std::string &path,
+                                 const LexResult &lex,
+                                 const Allowlist &allowlist);
 
 } // namespace rbvlint
 
