@@ -34,7 +34,8 @@ main(int argc, char **argv)
     const Cli cli(argc, argv,
                   {"app", "qps", "arrival", "duration", "requests",
                    "checkpoint-every", "window", "max-outstanding",
-                   "seed", "faults", "quiet", "rss-log"});
+                   "seed", "faults", "quiet", "rss-log", "diagnose",
+                   "diag-out"});
     const ObsScope obs(cli);
 
     ServeConfig cfg;
@@ -59,6 +60,8 @@ main(int argc, char **argv)
         cli.getInt("max-outstanding", 4096));
     cfg.rssLog = cli.getStr("rss-log", "");
     cfg.quiet = cli.getBool("quiet", false);
+    cfg.diagnose = cli.getBool("diagnose", false);
+    cfg.diagOut = cli.getStr("diag-out", "");
     if (cfg.arrival.qps <= 0.0 || cfg.durationSec <= 0.0) {
         std::cerr << argv[0]
                   << ": --qps and --duration must be positive\n";

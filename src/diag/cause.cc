@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cause taxonomy implementation.
+ */
+
+#include "diag/cause.hh"
+
+namespace rbv::diag {
+
+const char *
+causeName(Cause c)
+{
+    switch (c) {
+    case Cause::CacheContention:
+        return "cache-contention";
+    case Cause::BandwidthSaturation:
+        return "bandwidth-saturation";
+    case Cause::InjectedStall:
+        return "injected-stall";
+    case Cause::CounterArtifact:
+        return "counter-artifact";
+    case Cause::SchedInterference:
+        return "sched-interference";
+    case Cause::Unknown:
+    case Cause::Count_:
+        break;
+    }
+    return "unknown";
+}
+
+Cause
+causeOfFault(fi::FaultKind kind)
+{
+    switch (kind) {
+    case fi::FaultKind::ReqStuck:
+    case fi::FaultKind::SysStall:
+        return Cause::InjectedStall;
+    case fi::FaultKind::IrqDrop:
+    case fi::FaultKind::IrqCoalesce:
+    case fi::FaultKind::CtrSaturate:
+    case fi::FaultKind::CtrCorrupt:
+    case fi::FaultKind::CtxLoss:
+        return Cause::CounterArtifact;
+    case fi::FaultKind::CoreSlow:
+        return Cause::SchedInterference;
+    case fi::FaultKind::JobCrash:
+    case fi::FaultKind::JobTimeout:
+        break;
+    }
+    return Cause::Unknown;
+}
+
+} // namespace rbv::diag

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The diagnosis cause taxonomy: every class the rbv::diag layer can
+ * attribute a detected anomaly to, plus the mapping from injected
+ * fault kinds (rbv::fi) to the cause class an ideal diagnoser should
+ * report for them. The mapping is what turns the fi injection log
+ * into ground-truth labels for the diagnosis evaluation (eval.hh).
+ */
+
+#ifndef RBV_DIAG_CAUSE_HH
+#define RBV_DIAG_CAUSE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fi/plan.hh"
+
+namespace rbv::diag {
+
+/**
+ * Root-cause classes. The first five are concrete attributions; a
+ * detection whose best rule score stays under the classifier floor
+ * falls back to Unknown rather than guessing.
+ */
+enum class Cause : std::uint8_t
+{
+    CacheContention,     ///< Shared-L2 interference (the paper's Fig. 8).
+    BandwidthSaturation, ///< Memory-bandwidth pressure: misses got slower.
+    InjectedStall,       ///< fi req-stuck / sys-stall request faults.
+    CounterArtifact,     ///< Corrupted/saturated counters, sampling gaps.
+    SchedInterference,   ///< Core-level slowdown hitting many requests.
+    Unknown,             ///< Evidence too ambiguous to attribute.
+    Count_,
+};
+
+constexpr std::size_t NumCauses =
+    static_cast<std::size_t>(Cause::Count_);
+
+/** Canonical report name ("cache-contention", "unknown", ...). */
+const char *causeName(Cause c);
+
+/**
+ * The cause class an ideal diagnoser reports for an injected fault
+ * kind. Job-layer faults (job-crash / job-timeout) never reach a
+ * per-request detection, so they map to Unknown; the label join in
+ * eval.cc skips them.
+ */
+Cause causeOfFault(fi::FaultKind kind);
+
+} // namespace rbv::diag
+
+#endif // RBV_DIAG_CAUSE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ground-truth label join and confusion tallies.
+ */
+
+#include "diag/eval.hh"
+
+#include <map>
+
+namespace rbv::diag {
+
+bool
+labelOf(std::int64_t id, sim::Tick begin, sim::Tick end,
+        const std::vector<fi::Injection> &log, Cause &out)
+{
+    bool counter = false, sched = false;
+
+    // Victim records carry the request the injector saw on the core
+    // at injection time; the lifetime check disambiguates recycled
+    // serving ids (the tick must fall inside THIS incarnation).
+    const auto victimHit = [&](const fi::Injection &inj) {
+        return inj.victim == id && inj.tick >= begin &&
+               inj.tick <= end;
+    };
+
+    for (const auto &inj : log) {
+        switch (inj.kind) {
+        case fi::FaultKind::ReqStuck:
+        case fi::FaultKind::SysStall:
+            if (inj.subject == id) {
+                out = Cause::InjectedStall;
+                return true; // Exact subject match always wins.
+            }
+            break;
+        case fi::FaultKind::CtrCorrupt:
+            if (victimHit(inj))
+                counter = true;
+            break;
+        case fi::FaultKind::CtrSaturate:
+            // Once latched the register stays capped, so everything
+            // completing after the latch reads saturated counts.
+            if (inj.tick <= end)
+                counter = true;
+            break;
+        case fi::FaultKind::CoreSlow:
+            if (victimHit(inj))
+                sched = true;
+            break;
+        case fi::FaultKind::IrqDrop:
+        case fi::FaultKind::IrqCoalesce:
+        case fi::FaultKind::CtxLoss:
+        case fi::FaultKind::JobCrash:
+        case fi::FaultKind::JobTimeout:
+            break; // Too diffuse / wrong layer to label a request.
+        }
+    }
+    if (counter) {
+        out = Cause::CounterArtifact;
+        return true;
+    }
+    if (sched) {
+        out = Cause::SchedInterference;
+        return true;
+    }
+    return false;
+}
+
+DiagEval
+evaluateDiagnosis(const std::vector<RequestView> &requests,
+                  const RunDiagnosis &run,
+                  const std::vector<fi::Injection> &log)
+{
+    DiagEval eval;
+
+    std::map<std::int64_t, Cause> detected;
+    std::map<std::int64_t, Cause> truthOfDetected;
+    for (const auto &rep : run.anomalies)
+        detected[rep.evidence.requestId] = rep.diagnosis.cause;
+
+    for (const auto &r : requests) {
+        Cause truth = Cause::Unknown;
+        if (!labelOf(r.id, r.injected, r.completed, log, truth))
+            continue;
+        ++eval.labeledRequests;
+        auto &stats = eval.perCause[static_cast<std::size_t>(truth)];
+        ++stats.labeled;
+        const auto it = detected.find(r.id);
+        if (it == detected.end())
+            continue;
+        ++eval.labeledDetected;
+        ++stats.detected;
+        truthOfDetected[r.id] = truth;
+        const Cause verdict = it->second;
+        ++eval.confusion[static_cast<std::size_t>(truth)]
+                        [static_cast<std::size_t>(verdict)];
+        ++eval.perCause[static_cast<std::size_t>(verdict)].diagnosed;
+        if (verdict == truth)
+            ++stats.correct;
+    }
+
+    for (const auto &rep : run.anomalies)
+        if (truthOfDetected.find(rep.evidence.requestId) ==
+            truthOfDetected.end())
+            ++eval.unlabeledDetections;
+    return eval;
+}
+
+void
+merge(DiagEval &into, const DiagEval &from)
+{
+    for (std::size_t i = 0; i < NumCauses; ++i) {
+        into.perCause[i].labeled += from.perCause[i].labeled;
+        into.perCause[i].detected += from.perCause[i].detected;
+        into.perCause[i].diagnosed += from.perCause[i].diagnosed;
+        into.perCause[i].correct += from.perCause[i].correct;
+        for (std::size_t j = 0; j < NumCauses; ++j)
+            into.confusion[i][j] += from.confusion[i][j];
+    }
+    into.labeledRequests += from.labeledRequests;
+    into.labeledDetected += from.labeledDetected;
+    into.unlabeledDetections += from.unlabeledDetections;
+}
+
+} // namespace rbv::diag

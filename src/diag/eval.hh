@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ground-truth diagnosis evaluation: join the classifier's verdicts
+ * against the rbv::fi injection log and report per-cause precision /
+ * recall plus a truth-by-verdict confusion matrix. This extends the
+ * ranked *detection* evaluation of src/fi/eval.hh one level up the
+ * stack — not "did we flag the faulted requests" but "did we name
+ * the right cause for the ones we flagged".
+ *
+ * Labels come only from the injection log (what actually fired), not
+ * from the plan's probabilities, and never from the evidence features
+ * the classifier itself reads — the join must stay independent of
+ * the thing it grades:
+ *  - req-stuck / sys-stall injections label their subject request;
+ *  - ctr-corrupt and core-slow injections label the victim request
+ *    the injector witnessed on the core at injection time (the
+ *    request whose period the poisoned read lands in / the requests
+ *    actually slowed); the lifetime check [begin, end] around the
+ *    injection tick disambiguates recycled serving ids;
+ *  - ctr-saturate labels every request completing after the latch
+ *    (saturation persists once the register caps);
+ *  - irq-drop / irq-coalesce / ctx-loss are too diffuse to label
+ *    individual requests and are skipped, as are job-layer faults.
+ *
+ * When several labels apply, the request-subject label wins (exact
+ * attribution beats everything), then counter faults, then
+ * core-slow.
+ */
+
+#ifndef RBV_DIAG_EVAL_HH
+#define RBV_DIAG_EVAL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "diag/evidence.hh"
+#include "fi/injection.hh"
+
+namespace rbv::diag {
+
+/**
+ * Ground-truth label of one request from the injection log. Returns
+ * false when no labeling fault touched the request.
+ */
+bool labelOf(std::int64_t id, sim::Tick begin, sim::Tick end,
+             const std::vector<fi::Injection> &log, Cause &out);
+
+/** Per-cause tallies of the diagnosis join. */
+struct CauseStats
+{
+    std::size_t labeled = 0;   ///< Requests carrying this truth label.
+    std::size_t detected = 0;  ///< ... that the detector flagged.
+    std::size_t diagnosed = 0; ///< Labeled detections given this verdict.
+    std::size_t correct = 0;   ///< Detections labeled AND diagnosed so.
+
+    /** correct / diagnosed over labeled detections. */
+    double
+    precision() const
+    {
+        return diagnosed > 0 ? static_cast<double>(correct) /
+                                   static_cast<double>(diagnosed)
+                             : 0.0;
+    }
+
+    /** correct / detected: diagnosis quality given detection. */
+    double
+    recall() const
+    {
+        return detected > 0 ? static_cast<double>(correct) /
+                                  static_cast<double>(detected)
+                            : 0.0;
+    }
+
+    /** detected / labeled: the detector's own recall on this cause. */
+    double
+    detectionRecall() const
+    {
+        return labeled > 0 ? static_cast<double>(detected) /
+                                 static_cast<double>(labeled)
+                           : 0.0;
+    }
+};
+
+/** Outcome of one diagnosis evaluation (mergeable across runs). */
+struct DiagEval
+{
+    std::array<CauseStats, NumCauses> perCause{};
+
+    /** confusion[truth][verdict] over labeled detections. */
+    std::array<std::array<std::size_t, NumCauses>, NumCauses>
+        confusion{};
+
+    std::size_t labeledRequests = 0;  ///< Requests with any label.
+    std::size_t labeledDetected = 0;  ///< ... the detector flagged.
+
+    /** Detections with no injected label (organic anomalies — not
+     *  necessarily false positives). */
+    std::size_t unlabeledDetections = 0;
+};
+
+/**
+ * Join @p run's detections against the injection log over the full
+ * request population (the population supplies detection recall
+ * denominators).
+ */
+DiagEval evaluateDiagnosis(const std::vector<RequestView> &requests,
+                           const RunDiagnosis &run,
+                           const std::vector<fi::Injection> &log);
+
+/** Element-wise merge (e.g., across the apps of a campaign). */
+void merge(DiagEval &into, const DiagEval &from);
+
+} // namespace rbv::diag
+
+#endif // RBV_DIAG_EVAL_HH

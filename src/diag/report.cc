@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic JSON report writer.
+ */
+
+#include "diag/report.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rbv::diag {
+
+namespace {
+
+/** Fixed-precision rendering: stable bytes on every host. */
+std::string
+num(double v, int prec = 6)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+/** Minimal string escaping (group names are plain identifiers). */
+std::string
+jstr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeAnomaly(std::ostream &out, const AnomalyReport &rep,
+             const char *indent)
+{
+    const Evidence &ev = rep.evidence;
+    out << indent << "{\"request\": " << ev.requestId
+        << ", \"group\": " << jstr(ev.group)
+        << ", \"score\": " << num(ev.score, 3)
+        << ", \"cause\": \"" << causeName(rep.diagnosis.cause)
+        << "\",\n"
+        << indent << " \"ranked\": [";
+    bool first = true;
+    for (const auto &cs : rep.diagnosis.ranked) {
+        if (!first)
+            out << ", ";
+        first = false;
+        out << "{\"cause\": \"" << causeName(cs.cause)
+            << "\", \"score\": " << num(cs.score, 3) << "}";
+    }
+    out << "],\n"
+        << indent << " \"evidence\": {"
+        << "\"cpi_inflation\": " << num(ev.cpiInflation, 4)
+        << ", \"miss_inflation\": " << num(ev.missInflation, 4)
+        << ", \"refs_inflation\": " << num(ev.refsInflation, 4)
+        << ", \"work_inflation\": " << num(ev.workInflation, 4)
+        << ", \"cycles_per_miss_inflation\": "
+        << num(ev.cyclesPerMissInflation, 4)
+        << ", \"misses_per_ins\": " << num(ev.missesPerIns)
+        << ", \"inflation_corr\": " << num(ev.inflationCorr, 4)
+        << ", \"inflation_concentration\": "
+        << num(ev.inflationConcentration, 4)
+        << ", \"gap_frac\": " << num(ev.gapFrac, 4)
+        << ", \"suspect_frac\": " << num(ev.suspectFrac, 4)
+        << ", \"co_anomaly_overlap\": "
+        << num(ev.coAnomalyOverlap, 1)
+        << ", \"queue_pressure\": " << num(ev.queuePressure, 4)
+        << "}}";
+}
+
+void
+writeEval(std::ostream &out, const DiagEval &eval)
+{
+    out << "  \"eval\": {\n"
+        << "    \"labeled_requests\": " << eval.labeledRequests
+        << ",\n    \"labeled_detected\": " << eval.labeledDetected
+        << ",\n    \"unlabeled_detections\": "
+        << eval.unlabeledDetections << ",\n    \"per_cause\": [\n";
+    for (std::size_t i = 0; i < NumCauses; ++i) {
+        const CauseStats &cs = eval.perCause[i];
+        out << "      {\"cause\": \""
+            << causeName(static_cast<Cause>(i))
+            << "\", \"labeled\": " << cs.labeled
+            << ", \"detected\": " << cs.detected
+            << ", \"diagnosed\": " << cs.diagnosed
+            << ", \"correct\": " << cs.correct
+            << ", \"precision\": " << num(cs.precision(), 3)
+            << ", \"recall\": " << num(cs.recall(), 3)
+            << ", \"detection_recall\": "
+            << num(cs.detectionRecall(), 3) << "}"
+            << (i + 1 < NumCauses ? ",\n" : "\n");
+    }
+    out << "    ],\n    \"confusion\": [\n";
+    for (std::size_t i = 0; i < NumCauses; ++i) {
+        out << "      [";
+        for (std::size_t j = 0; j < NumCauses; ++j)
+            out << eval.confusion[i][j]
+                << (j + 1 < NumCauses ? ", " : "");
+        out << "]" << (i + 1 < NumCauses ? ",\n" : "\n");
+    }
+    out << "    ]\n  }\n";
+}
+
+} // namespace
+
+void
+writeJsonReport(std::ostream &out, const ReportMeta &meta,
+                const std::vector<NamedRun> &runs,
+                const DiagEval *eval)
+{
+    out << "{\n  \"schema\": \"rbv-diag-v1\",\n  \"source\": "
+        << jstr(meta.source) << ",\n  \"seed\": " << meta.seed
+        << ",\n  \"runs\": [\n";
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        const RunDiagnosis &run = *runs[r].run;
+        out << "    {\"name\": " << jstr(runs[r].name)
+            << ", \"groups_analyzed\": " << run.groupsAnalyzed
+            << ", \"requests_scored\": " << run.requestsScored
+            << ",\n     \"anomalies\": [";
+        for (std::size_t i = 0; i < run.anomalies.size(); ++i) {
+            out << (i == 0 ? "\n" : ",\n");
+            writeAnomaly(out, run.anomalies[i], "      ");
+        }
+        out << (run.anomalies.empty() ? "]}" : "\n    ]}")
+            << (r + 1 < runs.size() ? ",\n" : "\n");
+    }
+    out << "  ]" << (eval != nullptr ? ",\n" : "\n");
+    if (eval != nullptr)
+        writeEval(out, *eval);
+    out << "}\n";
+}
+
+} // namespace rbv::diag

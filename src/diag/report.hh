@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The `--diag-out` JSON report: anomaly → ranked causes → evidence,
+ * plus the optional ground-truth evaluation block. The writer is
+ * fully deterministic (fixed field order, fixed-precision numbers),
+ * so two runs at the same seed — at any `--jobs` — produce
+ * byte-identical reports; CI diffs them directly.
+ */
+
+#ifndef RBV_DIAG_REPORT_HH
+#define RBV_DIAG_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "diag/eval.hh"
+#include "diag/evidence.hh"
+
+namespace rbv::diag {
+
+/** Report provenance header. */
+struct ReportMeta
+{
+    std::string source; ///< Producing binary ("bench_fig08_09_anomaly").
+    std::uint64_t seed = 0;
+};
+
+/** One named diagnosis block (e.g. per app of a campaign). */
+struct NamedRun
+{
+    std::string name;
+    const RunDiagnosis *run = nullptr;
+};
+
+/**
+ * Write the JSON report. @p eval may be null (no fault plan active);
+ * the block is omitted entirely so dormant reports carry no empty
+ * stubs.
+ */
+void writeJsonReport(std::ostream &out, const ReportMeta &meta,
+                     const std::vector<NamedRun> &runs,
+                     const DiagEval *eval);
+
+} // namespace rbv::diag
+
+#endif // RBV_DIAG_REPORT_HH

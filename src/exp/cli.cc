@@ -140,6 +140,10 @@ const std::pair<const char *, const char *> FlagCatalogue[] = {
     {"checkpoint-every",
      "completed requests between serve checkpoint lines"},
     {"csv", "also write the per-request records as CSV to this path"},
+    {"diag-out", "write the diagnosis JSON report (anomaly -> ranked "
+                 "causes -> evidence) to this path"},
+    {"diagnose", "attribute each detected anomaly to a root cause "
+                 "(rbv::diag; see docs/DIAGNOSIS.md)"},
     {"duration", "simulated serving duration in seconds "
                  "(when --requests is 0)"},
     {"faults", "fault-injection plan, e.g. "

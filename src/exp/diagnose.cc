@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ScenarioResult → rbv::diag adapters.
+ */
+
+#include "exp/diagnose.hh"
+
+namespace rbv::exp {
+
+std::vector<diag::RequestView>
+diagViews(const ScenarioResult &res)
+{
+    std::vector<diag::RequestView> views;
+    views.reserve(res.records.size());
+    for (const auto &r : res.records) {
+        diag::RequestView v;
+        v.id = static_cast<std::int64_t>(r.id);
+        v.group = r.className;
+        if (r.classId != 0) {
+            v.group += '#';
+            v.group += std::to_string(r.classId);
+        }
+        v.instructions = r.totals.instructions;
+        v.cycles = r.totals.cycles;
+        v.l2Refs = r.totals.l2Refs;
+        v.l2Misses = r.totals.l2Misses;
+        v.injected = r.injected;
+        v.completed = r.completed;
+        v.timeline = &r.timeline;
+        views.push_back(std::move(v));
+    }
+    return views;
+}
+
+diag::RunDiagnosis
+diagnoseScenario(const ScenarioResult &res,
+                 const diag::DiagConfig &cfg)
+{
+    return diag::diagnoseRun(diagViews(res), cfg);
+}
+
+diag::DiagEval
+evaluateScenarioDiagnosis(const ScenarioResult &res,
+                          const diag::RunDiagnosis &run)
+{
+    return diag::evaluateDiagnosis(diagViews(res), run,
+                                   res.injections);
+}
+
+} // namespace rbv::exp

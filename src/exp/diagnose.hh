@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Batch-side adapters between the scenario runner and the rbv::diag
+ * layer: turn a ScenarioResult's records into diag::RequestView
+ * spans, run the diagnosis pass, and join it against the run's own
+ * injection log. The diag library itself stays independent of
+ * rbv::exp; these shims are the only coupling point, so the serving
+ * loop and the fig benches feed the same diagnoser.
+ */
+
+#ifndef RBV_EXP_DIAGNOSE_HH
+#define RBV_EXP_DIAGNOSE_HH
+
+#include <vector>
+
+#include "diag/eval.hh"
+#include "diag/evidence.hh"
+#include "exp/scenario.hh"
+
+namespace rbv::exp {
+
+/**
+ * View every record of a result (WeBWorK-style numeric class ids are
+ * folded into the group name). The views alias @p res — keep it
+ * alive while they are in use.
+ */
+std::vector<diag::RequestView> diagViews(const ScenarioResult &res);
+
+/** Run the batch diagnosis pass over one scenario result. */
+diag::RunDiagnosis diagnoseScenario(const ScenarioResult &res,
+                                    const diag::DiagConfig &cfg);
+
+/** Join a diagnosis against the result's own injection log. */
+diag::DiagEval evaluateScenarioDiagnosis(const ScenarioResult &res,
+                                         const diag::RunDiagnosis &run);
+
+} // namespace rbv::exp
+
+#endif // RBV_EXP_DIAGNOSE_HH

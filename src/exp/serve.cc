@@ -12,6 +12,8 @@
 #include <sstream>
 
 #include "core/model/streaming.hh"
+#include "diag/eval.hh"
+#include "diag/report.hh"
 #include "fi/session.hh"
 #include "wl/micromix.hh"
 #include "wl/server.hh"
@@ -150,6 +152,19 @@ runServe(const ServeConfig &cfg, std::ostream &out)
     stats::SlidingQuantile latencies(8192);
     stats::EwmaMeanVar cpi(0.02);
 
+    // --- Online diagnosis state (untouched unless cfg.diagnose) ---
+    // Rolling baselines stand in for the batch mode's group
+    // centroid: inflations are the request's rates over the decayed
+    // fleet-wide means.
+    stats::EwmaMeanVar missRate(0.02);
+    stats::EwmaMeanVar refsRate(0.02);
+    stats::EwmaMeanVar cyclesPerMiss(0.02);
+    std::vector<sim::Tick> recentFlagTicks; // Bounded ring below.
+    std::size_t recentFlagHead = 0;
+    constexpr std::size_t RecentFlagCap = 64;
+    const sim::Tick overlapTicks = static_cast<sim::Tick>(
+        sim::msToCycles(cfg.diagOverlapMs));
+
     ServeResult result;
     std::ofstream rssOut;
     if (!cfg.rssLog.empty())
@@ -195,6 +210,96 @@ runServe(const ServeConfig &cfg, std::ostream &out)
         }
     };
 
+    // One flagged completion -> evidence fingerprint vs the rolling
+    // baselines -> classified cause. Bounded state: a latest-N
+    // report ring and a fixed-size recent-flag tick ring.
+    auto diagnoseFlag = [&](double score, os::RequestId id,
+                            const os::RequestInfo &info,
+                            const wl::RequestSpec &spec,
+                            const core::Timeline &tl) {
+        diag::Evidence ev;
+        ev.requestId = static_cast<std::int64_t>(id);
+        ev.group = info.className;
+        ev.score = score;
+        ev.injected = info.injected;
+        ev.completed = info.completed;
+
+        const double ins = info.totals.instructions;
+        const double curMiss = ins > 0.0 ? info.totals.l2Misses / ins
+                                         : 0.0;
+        const double curRefs = ins > 0.0 ? info.totals.l2Refs / ins
+                                         : 0.0;
+        const double curCpm =
+            info.totals.l2Misses > 0.0
+                ? info.totals.cycles / info.totals.l2Misses
+                : 0.0;
+        const auto infl = [](double cur, double base) {
+            return base > 0.0 && cur > 0.0 ? cur / base : 1.0;
+        };
+        ev.cpiInflation = infl(info.cpi(), cpi.mean());
+        ev.missInflation = infl(curMiss, missRate.mean());
+        ev.refsInflation = infl(curRefs, refsRate.mean());
+        ev.cyclesPerMissInflation = infl(curCpm, cyclesPerMiss.mean());
+        ev.missesPerIns = curMiss;
+        const double specified = spec.totalInstructions();
+        ev.workInflation = specified > 0.0 ? ins / specified : 1.0;
+
+        const auto cpiBins = core::binByInstructions(
+            tl, cfg.binIns, core::Metric::Cpi);
+        const auto missBins = core::binByInstructions(
+            tl, cfg.binIns, core::Metric::L2MissesPerIns);
+        ev.inflationCorr = diag::pearson(cpiBins, missBins);
+        core::MetricSeries dCpi(cpiBins.size());
+        for (std::size_t i = 0; i < cpiBins.size(); ++i)
+            dCpi[i] = cpiBins[i] - cpi.mean();
+        ev.inflationConcentration = diag::concentration(dCpi);
+
+        if (!tl.periods.empty()) {
+            std::size_t gaps = 0, suspects = 0;
+            for (const auto &p : tl.periods) {
+                gaps += p.gapBefore ? 1 : 0;
+                suspects += p.suspect ? 1 : 0;
+            }
+            const double n = static_cast<double>(tl.periods.size());
+            ev.gapFrac = static_cast<double>(gaps) / n;
+            ev.suspectFrac = static_cast<double>(suspects) / n;
+        }
+
+        const sim::Tick now = eq.now();
+        std::size_t overlap = 0;
+        for (const sim::Tick t : recentFlagTicks)
+            if (now - t <= overlapTicks)
+                ++overlap;
+        ev.coAnomalyOverlap = static_cast<double>(overlap);
+        if (recentFlagTicks.size() < RecentFlagCap) {
+            recentFlagTicks.push_back(now);
+        } else {
+            recentFlagTicks[recentFlagHead] = now;
+            recentFlagHead = (recentFlagHead + 1) % RecentFlagCap;
+        }
+        ev.queuePressure =
+            cfg.maxOutstanding > 0
+                ? static_cast<double>(driver.outstanding()) /
+                      static_cast<double>(cfg.maxOutstanding)
+                : 0.0;
+
+        diag::AnomalyReport rep;
+        rep.evidence = std::move(ev);
+        rep.diagnosis = diag::classify(rep.evidence);
+        ++result.diagAnomalies;
+        ++result.diagCauseCounts[static_cast<std::size_t>(
+            rep.diagnosis.cause)];
+        RBV_COUNT(DiagAnomalies, 1);
+        if (rep.diagnosis.cause == diag::Cause::Unknown)
+            RBV_COUNT(DiagUnknownCauses, 1);
+        if (result.diagReports.size() >= cfg.diagKeep && cfg.diagKeep > 0) {
+            result.diagReports.erase(result.diagReports.begin());
+            ++result.diagDropped;
+        }
+        if (cfg.diagKeep > 0)
+            result.diagReports.push_back(std::move(rep));
+    };
+
     driver.setCompletionCallback([&](os::RequestId id,
                                      const wl::RequestSpec &spec) {
         // Always reclaim the timeline slot, even off the model path:
@@ -206,6 +311,18 @@ runServe(const ServeConfig &cfg, std::ostream &out)
         latencies.add(sim::cyclesToUs(
             static_cast<double>(info.completed - info.injected)));
         cpi.add(info.cpi());
+        if (cfg.diagnose && info.totals.instructions > 0.0) {
+            // Feed the diagnosis baselines from every completion so
+            // inflations compare against the whole fleet, not only
+            // the model-path subsample.
+            missRate.add(info.totals.l2Misses /
+                         info.totals.instructions);
+            refsRate.add(info.totals.l2Refs /
+                         info.totals.instructions);
+            if (info.totals.l2Misses > 0.0)
+                cyclesPerMiss.add(info.totals.cycles /
+                                  info.totals.l2Misses);
+        }
 
         // Stuck-request detection (fi req-stuck): attributed work
         // far beyond the spec marks the run degraded.
@@ -250,8 +367,11 @@ runServe(const ServeConfig &cfg, std::ostream &out)
             }
             bank.offer(series, info.totals.cycles, spec.classId);
             cluster.observe(series);
-            if (!cluster.medoids().empty())
-                scorer.observe(cluster.scoreOf(series));
+            if (!cluster.medoids().empty()) {
+                const double score = cluster.scoreOf(series);
+                if (scorer.observe(score) && cfg.diagnose)
+                    diagnoseFlag(score, id, info, spec, tl);
+            }
         }
 
         if (cfg.checkpointEvery > 0 && n % cfg.checkpointEvery == 0)
@@ -297,6 +417,49 @@ runServe(const ServeConfig &cfg, std::ostream &out)
         << " reclusters " << result.reclusters << " flagged "
         << result.flagged << " stalled " << result.stalled
         << " slots " << result.requestSlots << "\n";
+
+    // Diagnosis summary: appended after the classic summary line so
+    // the dormant path's stdout stays byte-identical.
+    if (cfg.diagnose) {
+        out << "[diag] anomalies " << result.diagAnomalies
+            << " retained " << result.diagReports.size()
+            << " dropped " << result.diagDropped << "\n[diag] causes";
+        for (std::size_t i = 0; i < diag::NumCauses; ++i)
+            out << " " << diag::causeName(static_cast<diag::Cause>(i))
+                << " " << result.diagCauseCounts[i];
+        out << "\n";
+
+        // Ground-truth join over the retained reports: with ids
+        // recycled, the lifetime window disambiguates which
+        // incarnation an injection hit.
+        if (cfg.base.faults && !result.injections.empty()) {
+            std::size_t labeled = 0, correct = 0;
+            for (const auto &rep : result.diagReports) {
+                diag::Cause truth = diag::Cause::Unknown;
+                if (!diag::labelOf(rep.evidence.requestId,
+                                   rep.evidence.injected,
+                                   rep.evidence.completed,
+                                   result.injections, truth))
+                    continue;
+                ++labeled;
+                if (truth == rep.diagnosis.cause)
+                    ++correct;
+            }
+            out << "[diag] truth-join labeled " << labeled
+                << " correct " << correct << "\n";
+        }
+
+        if (!cfg.diagOut.empty()) {
+            diag::RunDiagnosis run;
+            run.anomalies = result.diagReports;
+            run.requestsScored = result.completed;
+            std::ofstream js(cfg.diagOut);
+            const std::vector<diag::NamedRun> named{
+                {"serve", &run}};
+            diag::writeJsonReport(js, {"rbv_serve", cfg.base.seed},
+                                  named, nullptr);
+        }
+    }
 
     return result;
 }

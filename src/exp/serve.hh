@@ -26,12 +26,14 @@
 #ifndef RBV_EXP_SERVE_HH
 #define RBV_EXP_SERVE_HH
 
+#include <array>
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "diag/evidence.hh"
 #include "exp/scenario.hh"
 #include "obs/obs.hh"
 #include "wl/arrival.hh"
@@ -94,6 +96,27 @@ struct ServeConfig
      * fault signature); any stalled request marks the run degraded.
      */
     double stuckFactor = 8.0;
+
+    /** @name Online diagnosis (rbv::diag; docs/DIAGNOSIS.md). */
+    /// @{
+    /**
+     * Extract an evidence fingerprint for every flagged completion
+     * and classify it into a cause. Dormant by default: without the
+     * flag no diagnosis state is touched and stdout is unchanged.
+     */
+    bool diagnose = false;
+
+    /** Diagnosis JSON report path ("" = none). */
+    std::string diagOut;
+
+    /** Retained anomaly reports — a latest-N bound so diagnosis
+     *  memory stays flat over arbitrarily long streams. */
+    std::size_t diagKeep = 256;
+
+    /** Two flags within this window of simulated time count as
+     *  overlapping (the scheduler-interference witness). */
+    double diagOverlapMs = 50.0;
+    /// @}
 
     /** @name Live observability (all optional). */
     /// @{
@@ -164,6 +187,14 @@ struct ServeResult
 
     /** Deterministic injection log (empty without a fault plan). */
     std::vector<fi::Injection> injections;
+
+    /** @name Online diagnosis outputs (empty unless cfg.diagnose). */
+    /// @{
+    std::size_t diagAnomalies = 0; ///< Flags seen by the diagnoser.
+    std::size_t diagDropped = 0;   ///< Flags beyond diagKeep evicted.
+    std::vector<diag::AnomalyReport> diagReports; ///< Latest diagKeep.
+    std::array<std::size_t, diag::NumCauses> diagCauseCounts{};
+    /// @}
 
     /** Identification accuracy over warm-bank attempts. */
     double

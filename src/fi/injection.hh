@@ -35,6 +35,16 @@ struct Injection
 
     /** Kind-specific size: multiplier, stall cycles, flipped bit... */
     double magnitude = 0.0;
+
+    /**
+     * The request the fault actually landed on, when the injector
+     * can witness one at injection time (the request whose period a
+     * corrupted read poisons, the request running on a slowed core's
+     * slice); -1 when no request was running or the kind has no
+     * per-request victim. Victim ids make the ground-truth label
+     * join exact instead of time-window-heuristic (diag/eval.hh).
+     */
+    std::int64_t victim = -1;
 };
 
 /** Render a log one line per injection (for determinism checks). */
@@ -45,6 +55,15 @@ std::string formatLog(const std::vector<Injection> &log);
  * req-stuck), sorted and deduplicated: the anomaly ground truth.
  */
 std::vector<std::int64_t> faultedRequests(const std::vector<Injection> &log);
+
+/**
+ * Request ids targeted by one specific request-level fault kind,
+ * sorted and deduplicated — the per-cause ground truth behind the
+ * diagnosis evaluation (rbv::diag joins these with time-window
+ * labels for core-subject faults).
+ */
+std::vector<std::int64_t> faultedRequests(const std::vector<Injection> &log,
+                                          FaultKind kind);
 
 } // namespace rbv::fi
 

@@ -86,6 +86,12 @@ void FaultSession::slowTick(sim::CoreId core, sim::Tick endTick,
 {
     kernel->machine().pushFixedWork(
         core, sim::FixedWork{stallCycles, 0.0, 0.0, 0.0});
+    // Log each distinct request caught on the slowed core once: the
+    // exact victim set for the diagnosis ground truth (requests on
+    // other cores merely share the window, they are not slowed).
+    if (const std::int64_t victim = victimOn(core);
+        victim >= 0 && slowVictims.insert(victim).second)
+        record(FaultKind::CoreSlow, core, stallCycles, victim);
     if (now() + intervalTicks >= endTick)
         return;
     kernel->eventQueue().scheduleIn(
@@ -151,7 +157,11 @@ bool FaultSession::transformSnapshot(sim::CoreId core,
             const std::uint64_t reg =
                 sim::toCounterRegister(field) ^ (std::uint64_t{1} << bit);
             field = static_cast<double>(reg);
-            record(FaultKind::CtrCorrupt, core, static_cast<double>(bit));
+            // The poisoned delta lands in the period of whatever
+            // request is on the core right now — the exact victim
+            // the diagnosis ground truth needs.
+            record(FaultKind::CtrCorrupt, core,
+                   static_cast<double>(bit), victimOn(core));
             tampered = true;
         }
     }
@@ -199,10 +209,21 @@ bool FaultSession::loseSwitchContext(sim::CoreId core)
 }
 
 void FaultSession::record(FaultKind kind, std::int64_t subject,
-                          double magnitude)
+                          double magnitude, std::int64_t victim)
 {
-    injections.push_back(Injection{now(), kind, subject, magnitude});
+    injections.push_back(
+        Injection{now(), kind, subject, magnitude, victim});
     RBV_COUNT(FiInjections, 1);
+}
+
+std::int64_t FaultSession::victimOn(sim::CoreId core) const
+{
+    if (kernel == nullptr)
+        return -1;
+    const os::RequestId req = kernel->currentRequest(core);
+    return req != os::InvalidRequestId
+               ? static_cast<std::int64_t>(req)
+               : -1;
 }
 
 sim::Tick FaultSession::now() const
@@ -215,16 +236,22 @@ std::string formatLog(const std::vector<Injection> &log)
     std::ostringstream os;
     for (const auto &inj : log) {
         os << inj.tick << ' ' << faultName(inj.kind) << ' ' << inj.subject
-           << ' ' << inj.magnitude << '\n';
+           << ' ' << inj.magnitude << ' ' << inj.victim << '\n';
     }
     return os.str();
 }
 
 std::vector<std::int64_t> faultedRequests(const std::vector<Injection> &log)
 {
+    return faultedRequests(log, FaultKind::ReqStuck);
+}
+
+std::vector<std::int64_t> faultedRequests(const std::vector<Injection> &log,
+                                          FaultKind kind)
+{
     std::vector<std::int64_t> ids;
     for (const auto &inj : log)
-        if (inj.kind == FaultKind::ReqStuck)
+        if (inj.kind == kind)
             ids.push_back(inj.subject);
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());

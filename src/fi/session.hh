@@ -63,8 +63,12 @@ class FaultSession final : public core::SamplingFaults,
     std::vector<Injection> takeLog() { return std::move(injections); }
 
   private:
-    void record(FaultKind kind, std::int64_t subject, double magnitude);
+    void record(FaultKind kind, std::int64_t subject, double magnitude,
+                std::int64_t victim = -1);
     sim::Tick now() const;
+
+    /** Request running on @p core right now, or -1 (idle/in-kernel). */
+    std::int64_t victimOn(sim::CoreId core) const;
     void slowTick(sim::CoreId core, sim::Tick endTick,
                   sim::Tick intervalTicks, double stallCycles);
 
@@ -98,6 +102,9 @@ class FaultSession final : public core::SamplingFaults,
 
     /** Per-core "saturation logged" latch (log once per core). */
     std::vector<bool> saturationLogged;
+
+    /** Core-slow victims already logged (one record per request). */
+    std::set<std::int64_t> slowVictims;
 
     std::vector<Injection> injections;
 };

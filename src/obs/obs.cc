@@ -77,6 +77,10 @@ counterName(Counter c)
         return "serve.checkpoints";
       case Counter::ServeStalledRequests:
         return "serve.stalled_requests";
+      case Counter::DiagAnomalies:
+        return "diag.anomalies";
+      case Counter::DiagUnknownCauses:
+        return "diag.unknown_causes";
       case Counter::Count_:
         break;
     }

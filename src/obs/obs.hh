@@ -97,6 +97,8 @@ enum class Counter : std::uint16_t
     OsRequestSlotsRecycled,
     ServeCheckpoints,
     ServeStalledRequests,
+    DiagAnomalies,
+    DiagUnknownCauses,
     Count_,
 };
 

@@ -25,7 +25,8 @@ namespace {
  * when the catalogue entry is missing.
  */
 const std::vector<std::string> BinaryFlags = {
-    "app",  "arrival", "bank", "checkpoint-every", "csv", "duration",
+    "app",  "arrival", "bank", "checkpoint-every", "csv", "diag-out",
+    "diagnose", "duration",
     "faults", "jobs", "k", "max-outstanding", "ms", "no-hist", "qps",
     "quiet", "requests", "retries", "rows", "rss-log", "rubis",
     "runs", "seed", "tpch", "webwork-requests", "window",

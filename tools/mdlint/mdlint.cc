@@ -1,0 +1,339 @@
+/**
+ * @file
+ * mdlint: markdown cross-reference checker for the repo's docs.
+ *
+ * Usage:
+ *   mdlint [--root DIR] [--quiet]
+ *
+ * Walks every *.md under the root (skipping build trees, VCS
+ * metadata, and the generated paper/snippet dumps), extracts inline
+ * links outside fenced code blocks and inline code spans, and
+ * verifies that
+ *
+ *   - every relative link resolves to a file or directory on disk,
+ *   - every `#anchor` (same-file or into another markdown file)
+ *     matches a heading under GitHub's slugification rules,
+ *   - no link uses a filesystem-absolute path (those break the moment
+ *     the repo is cloned anywhere else).
+ *
+ * External links (http/https/mailto) are out of scope -- checking
+ * them needs a network, and CI has none.
+ *
+ * Exit status is 0 when every link resolves, 1 on broken links, 2 on
+ * usage or I/O errors. Output order is deterministic: findings
+ * sorted by (file, line, link).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding
+{
+    std::string file; ///< Root-relative path of the linking file.
+    std::size_t line = 0;
+    std::string link;
+    std::string reason;
+
+    bool operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        return link < o.link;
+    }
+};
+
+struct Link
+{
+    std::size_t line = 0;
+    std::string target;
+};
+
+/** One parsed markdown file: its links and its heading slugs. */
+struct MdFile
+{
+    std::vector<Link> links;
+    std::set<std::string> slugs;
+};
+
+/** Directory names never descended into. */
+bool
+skipDir(const std::string &name)
+{
+    return name == ".git" || name == ".claude" || name == "Testing" ||
+           name.rfind("build", 0) == 0;
+}
+
+/**
+ * Files whose links are not linted: the paper dumps and the per-PR
+ * issue brief are generated text, not maintained docs. Their
+ * headings still feed the slug table so other docs may link to them.
+ */
+bool
+skipLint(const std::string &relPath)
+{
+    return relPath == "PAPER.md" || relPath == "PAPERS.md" ||
+           relPath == "SNIPPETS.md" || relPath == "ISSUE.md";
+}
+
+/**
+ * GitHub heading slug: lowercase; markdown emphasis and code ticks
+ * stripped; `[text](url)` collapsed to its text; every space becomes
+ * a hyphen; all other punctuation is dropped (consecutive hyphens
+ * are NOT collapsed). Duplicate slugs get -1, -2, ... suffixes.
+ */
+std::string
+slugify(const std::string &heading)
+{
+    // Collapse [text](url) to text first so URL punctuation never
+    // leaks into the slug.
+    std::string text;
+    for (std::size_t i = 0; i < heading.size(); ++i) {
+        if (heading[i] == '[') {
+            const std::size_t close = heading.find(']', i);
+            const std::size_t paren = close != std::string::npos &&
+                                              close + 1 < heading.size() &&
+                                              heading[close + 1] == '('
+                                          ? heading.find(')', close)
+                                          : std::string::npos;
+            if (close != std::string::npos &&
+                paren != std::string::npos) {
+                text += heading.substr(i + 1, close - i - 1);
+                i = paren;
+                continue;
+            }
+        }
+        text += heading[i];
+    }
+    std::string slug;
+    for (const char c : text) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (std::isalnum(u) != 0 || c == '_' || c == '-')
+            slug += static_cast<char>(std::tolower(u));
+        else if (c == ' ')
+            slug += '-';
+        // Everything else (`, *, ., :, /, ...) is dropped.
+    }
+    return slug;
+}
+
+/** Remove `inline code spans` so their contents are never parsed. */
+std::string
+stripCodeSpans(const std::string &line)
+{
+    std::string out;
+    bool inSpan = false;
+    for (const char c : line) {
+        if (c == '`') {
+            inSpan = !inSpan;
+            continue;
+        }
+        if (!inSpan)
+            out += c;
+    }
+    return out;
+}
+
+/** Extract `[text](target)` targets from one already-clean line. */
+void
+extractLinks(const std::string &line, std::size_t lineNo,
+             std::vector<Link> &out)
+{
+    for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+        if (!(line[i] == ']' && line[i + 1] == '('))
+            continue;
+        // Balanced parens inside the URL (rare, but legal).
+        std::size_t depth = 1;
+        std::size_t j = i + 2;
+        while (j < line.size() && depth > 0) {
+            if (line[j] == '(')
+                ++depth;
+            else if (line[j] == ')')
+                --depth;
+            if (depth > 0)
+                ++j;
+        }
+        if (j >= line.size())
+            return; // Unterminated; nothing more to find.
+        std::string target = line.substr(i + 2, j - i - 2);
+        // `[x](url "title")`: the URL ends at the first space.
+        const std::size_t space = target.find(' ');
+        if (space != std::string::npos)
+            target = target.substr(0, space);
+        if (!target.empty())
+            out.push_back({lineNo, target});
+        i = j;
+    }
+}
+
+/** Parse one markdown file into links + heading slugs. */
+MdFile
+parseMd(const fs::path &path)
+{
+    MdFile md;
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lineNo = 0;
+    bool inFence = false;
+    std::map<std::string, std::size_t> seen;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::string trimmed = line;
+        trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+        if (trimmed.rfind("```", 0) == 0 ||
+            trimmed.rfind("~~~", 0) == 0) {
+            inFence = !inFence;
+            continue;
+        }
+        if (inFence)
+            continue;
+        if (trimmed.rfind("#", 0) == 0) {
+            std::size_t level = 0;
+            while (level < trimmed.size() && trimmed[level] == '#')
+                ++level;
+            if (level <= 6 && level < trimmed.size() &&
+                trimmed[level] == ' ') {
+                std::string slug =
+                    slugify(trimmed.substr(level + 1));
+                const std::size_t n = seen[slug]++;
+                if (n > 0) {
+                    slug += '-';
+                    slug += std::to_string(n);
+                }
+                md.slugs.insert(slug);
+            }
+        }
+        extractLinks(stripCodeSpans(line), lineNo, md.links);
+    }
+    return md;
+}
+
+bool
+isExternal(const std::string &target)
+{
+    return target.rfind("http://", 0) == 0 ||
+           target.rfind("https://", 0) == 0 ||
+           target.rfind("mailto:", 0) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::cerr << "usage: mdlint [--root DIR] [--quiet]\n";
+            return 2;
+        }
+    }
+    std::error_code ec;
+    root = fs::canonical(root, ec);
+    if (ec) {
+        std::cerr << "mdlint: bad root: " << ec.message() << '\n';
+        return 2;
+    }
+
+    // Deterministic order: collect, then sort by relative path.
+    std::vector<fs::path> files;
+    fs::recursive_directory_iterator it(root, ec), end;
+    for (; !ec && it != end; it.increment(ec)) {
+        if (it->is_directory() &&
+            skipDir(it->path().filename().string())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() &&
+            it->path().extension() == ".md")
+            files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+
+    // Slugs for every file (link targets), links for linted ones.
+    std::map<std::string, MdFile> parsed; // keyed root-relative
+    for (const auto &f : files)
+        parsed[fs::relative(f, root).string()] = parseMd(f);
+
+    std::vector<Finding> findings;
+    std::size_t checked = 0;
+    for (const auto &[rel, md] : parsed) {
+        if (skipLint(rel))
+            continue;
+        const fs::path dir = (root / rel).parent_path();
+        for (const auto &link : md.links) {
+            if (isExternal(link.target))
+                continue;
+            ++checked;
+            const std::size_t hash = link.target.find('#');
+            const std::string pathPart =
+                hash == std::string::npos
+                    ? link.target
+                    : link.target.substr(0, hash);
+            const std::string anchor =
+                hash == std::string::npos
+                    ? std::string{}
+                    : link.target.substr(hash + 1);
+
+            if (!pathPart.empty() && pathPart.front() == '/') {
+                findings.push_back({rel, link.line, link.target,
+                                    "absolute path (breaks outside "
+                                    "this checkout)"});
+                continue;
+            }
+            std::string targetRel = rel; // Same-file anchors.
+            if (!pathPart.empty()) {
+                const fs::path resolved =
+                    fs::weakly_canonical(dir / pathPart, ec);
+                if (ec || !fs::exists(resolved)) {
+                    findings.push_back({rel, link.line, link.target,
+                                        "target does not exist"});
+                    continue;
+                }
+                targetRel = fs::relative(resolved, root).string();
+            }
+            if (anchor.empty())
+                continue;
+            const auto tgt = parsed.find(targetRel);
+            if (tgt == parsed.end()) {
+                findings.push_back({rel, link.line, link.target,
+                                    "anchor into a non-markdown "
+                                    "target"});
+                continue;
+            }
+            if (tgt->second.slugs.count(anchor) == 0)
+                findings.push_back({rel, link.line, link.target,
+                                    "no heading with this anchor in " +
+                                        targetRel});
+        }
+    }
+
+    std::sort(findings.begin(), findings.end());
+    for (const auto &f : findings)
+        std::cout << f.file << ':' << f.line << ": broken link '"
+                  << f.link << "': " << f.reason << '\n';
+    if (!quiet)
+        std::cout << "mdlint: " << checked << " link(s) in "
+                  << parsed.size() << " file(s), "
+                  << findings.size() << " broken\n";
+    return findings.empty() ? 0 : 1;
+}
