@@ -46,6 +46,14 @@ causeOfFault(fi::FaultKind kind)
     case fi::FaultKind::JobCrash:
     case fi::FaultKind::JobTimeout:
         break;
+    // Cluster node/link faults are diagnosed by the cluster driver's
+    // injection-log join, not the per-machine evidence pipeline.
+    case fi::FaultKind::NodeCrash:
+    case fi::FaultKind::NodeDegrade:
+    case fi::FaultKind::LinkDrop:
+    case fi::FaultKind::LinkDelay:
+    case fi::FaultKind::LinkPartition:
+        break;
     }
     return Cause::Unknown;
 }

@@ -51,6 +51,11 @@ labelOf(std::int64_t id, sim::Tick begin, sim::Tick end,
         case fi::FaultKind::CtxLoss:
         case fi::FaultKind::JobCrash:
         case fi::FaultKind::JobTimeout:
+        case fi::FaultKind::NodeCrash:
+        case fi::FaultKind::NodeDegrade:
+        case fi::FaultKind::LinkDrop:
+        case fi::FaultKind::LinkDelay:
+        case fi::FaultKind::LinkPartition:
             break; // Too diffuse / wrong layer to label a request.
         }
     }

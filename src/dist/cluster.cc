@@ -121,6 +121,11 @@ Cluster::globalIdOf(NodeId node, os::RequestId local) const
 os::RequestId
 Cluster::localIdOf(NodeId node, GlobalRequestId id)
 {
+    RBV_CHECK(id >= 0 &&
+                  static_cast<std::size_t>(id) < requests.size(),
+              "localIdOf of unknown global request " << id);
+    RBV_CHECK(node >= 0 && node < numNodes(),
+              "localIdOf on unknown node " << node);
     auto &per_node = globalToLocal[static_cast<std::size_t>(id)];
     if (per_node[node] != os::InvalidRequestId)
         return per_node[node];

@@ -17,12 +17,14 @@
 #ifndef RBV_DIST_CLUSTER_HH
 #define RBV_DIST_CLUSTER_HH
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/check.hh"
 #include "core/sampling/sampler.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
@@ -139,6 +141,9 @@ class Cluster
 
     const GlobalRequestInfo &request(GlobalRequestId id) const
     {
+        RBV_CHECK(id >= 0 && static_cast<std::size_t>(id) <
+                                 requests.size(),
+                  "unknown global request " << id);
         return requests[static_cast<std::size_t>(id)];
     }
     std::size_t numRequests() const { return requests.size(); }
@@ -173,7 +178,13 @@ class Cluster
 
     sim::EventQueue &eq;
     std::vector<std::unique_ptr<Node>> nodes;
-    std::vector<GlobalRequestInfo> requests;
+
+    /**
+     * Per-request records. A deque, not a vector: request() hands out
+     * long-lived references while registerRequest() keeps appending,
+     * and a vector reallocation would invalidate every one of them.
+     */
+    std::deque<GlobalRequestInfo> requests;
 
     /** local id -> global id, per node. */
     std::vector<std::map<os::RequestId, GlobalRequestId>>

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic circuit-breaker state machine.
+ */
+
+#include "dist/health.hh"
+
+#include <sstream>
+
+#include "obs/obs.hh"
+
+namespace rbv::dist {
+
+const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+      case BreakerState::Closed:
+        return "closed";
+      case BreakerState::Open:
+        return "open";
+      case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+std::string
+formatTransitions(const std::vector<BreakerTransition> &log)
+{
+    std::ostringstream os;
+    for (const auto &t : log)
+        os << t.tick << ' ' << breakerStateName(t.from) << "->"
+           << breakerStateName(t.to) << '\n';
+    return os.str();
+}
+
+ReplicaHealth::ReplicaHealth(BreakerConfig cfg) : cfg(cfg)
+{
+}
+
+void
+ReplicaHealth::transitionTo(BreakerState next, sim::Tick now)
+{
+    if (next == st)
+        return;
+    log.push_back(BreakerTransition{now, st, next});
+    RBV_COUNT(DistBreakerTransitions, 1);
+    st = next;
+}
+
+bool
+ReplicaHealth::admit(sim::Tick now)
+{
+    switch (st) {
+      case BreakerState::Closed:
+        return true;
+      case BreakerState::Open:
+        if (now - openedAt < cfg.cooldownTicks)
+            return false;
+        // Cooldown elapsed: admit exactly one half-open probe.
+        transitionTo(BreakerState::HalfOpen, now);
+        probeOutstanding = true;
+        return true;
+      case BreakerState::HalfOpen:
+        if (probeOutstanding)
+            return false;
+        probeOutstanding = true;
+        return true;
+    }
+    return false;
+}
+
+void
+ReplicaHealth::onSuccess(sim::Tick now)
+{
+    consecFails = 0;
+    probeOutstanding = false;
+    transitionTo(BreakerState::Closed, now);
+}
+
+void
+ReplicaHealth::onFailure(sim::Tick now)
+{
+    ++consecFails;
+    probeOutstanding = false;
+    switch (st) {
+      case BreakerState::Closed:
+        if (consecFails >= cfg.failThreshold) {
+            transitionTo(BreakerState::Open, now);
+            openedAt = now;
+        }
+        break;
+      case BreakerState::HalfOpen:
+        // The probe failed: back to Open, restart the cooldown.
+        transitionTo(BreakerState::Open, now);
+        openedAt = now;
+        break;
+      case BreakerState::Open:
+        // Stragglers from before the ejection; stay open.
+        break;
+    }
+}
+
+} // namespace rbv::dist

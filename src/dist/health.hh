@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Replica health tracking: a deterministic circuit breaker per
+ * replica.
+ *
+ * The state machine is the classic three-state breaker — Closed
+ * (healthy), Open (ejected after consecutive failures), HalfOpen
+ * (one probe in flight after the cooldown) — driven purely by
+ * simulated time and observed attempt outcomes, so its transition
+ * log is a deterministic golden-testable artifact of a run.
+ */
+
+#ifndef RBV_DIST_HEALTH_HH
+#define RBV_DIST_HEALTH_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace rbv::dist {
+
+/** Circuit-breaker tuning. */
+struct BreakerConfig
+{
+    /** Consecutive failures that open the breaker. */
+    int failThreshold = 3;
+
+    /** Open duration before a half-open probe is allowed. */
+    sim::Tick cooldownTicks = sim::msToCycles(5.0);
+};
+
+enum class BreakerState : std::uint8_t
+{
+    Closed,   ///< Healthy: requests flow.
+    Open,     ///< Ejected: no requests until the cooldown elapses.
+    HalfOpen, ///< One probe in flight decides reopen vs close.
+};
+
+/** Canonical state name ("closed", "open", "half-open"). */
+const char *breakerStateName(BreakerState s);
+
+/** One breaker state transition (for goldens and reports). */
+struct BreakerTransition
+{
+    sim::Tick tick = 0;
+    BreakerState from = BreakerState::Closed;
+    BreakerState to = BreakerState::Closed;
+};
+
+/** Render transitions one per line: "<tick> <from>-><to>\n". */
+std::string formatTransitions(
+    const std::vector<BreakerTransition> &log);
+
+/**
+ * Health record of one replica. All methods are called on the
+ * single-threaded simulation loop; determinism follows from the
+ * deterministic call sequence.
+ */
+class ReplicaHealth
+{
+  public:
+    explicit ReplicaHealth(BreakerConfig cfg = BreakerConfig{});
+
+    /**
+     * May a request be sent to this replica now? Closed: yes.
+     * Open: no until the cooldown elapses, then the breaker moves to
+     * HalfOpen and admits exactly one probe. HalfOpen: no while the
+     * probe is outstanding.
+     */
+    bool admit(sim::Tick now);
+
+    /** An attempt to this replica succeeded. */
+    void onSuccess(sim::Tick now);
+
+    /** An attempt to this replica failed (timeout or drop). */
+    void onFailure(sim::Tick now);
+
+    BreakerState state() const { return st; }
+    int consecutiveFailures() const { return consecFails; }
+    const std::vector<BreakerTransition> &transitions() const
+    {
+        return log;
+    }
+
+  private:
+    void transitionTo(BreakerState next, sim::Tick now);
+
+    BreakerConfig cfg;
+    BreakerState st = BreakerState::Closed;
+    int consecFails = 0;
+    sim::Tick openedAt = 0;
+    bool probeOutstanding = false;
+    std::vector<BreakerTransition> log;
+};
+
+} // namespace rbv::dist
+
+#endif // RBV_DIST_HEALTH_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Deterministic RPC backoff schedule.
+ */
+
+#include "dist/rpc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fi/plan.hh"
+
+namespace rbv::dist {
+
+sim::Tick
+RpcPolicy::backoffTicks(std::uint64_t seed, std::int64_t gid,
+                        int attempt) const
+{
+    const double expo =
+        std::pow(backoffFactor, static_cast<double>(attempt - 1));
+    // Stateless lottery: invariant across --jobs and reruns.
+    const double u = fi::unitIntervalHash(
+        seed, 0xb0ff00u + static_cast<std::uint64_t>(attempt),
+        static_cast<std::uint64_t>(gid));
+    const double jitter = 1.0 + jitterFrac * (u - 0.5);
+    const double ticks =
+        static_cast<double>(backoffBaseTicks) * expo * jitter;
+    return std::max<sim::Tick>(static_cast<sim::Tick>(ticks), 1);
+}
+
+} // namespace rbv::dist

@@ -140,6 +140,8 @@ const std::pair<const char *, const char *> FlagCatalogue[] = {
     {"checkpoint-every",
      "completed requests between serve checkpoint lines"},
     {"csv", "also write the per-request records as CSV to this path"},
+    {"deadline-us", "cluster per-attempt RPC deadline in "
+                    "microseconds"},
     {"diag-out", "write the diagnosis JSON report (anomaly -> ranked "
                  "causes -> evidence) to this path"},
     {"diagnose", "attribute each detected anomaly to a root cause "
@@ -149,7 +151,11 @@ const std::pair<const char *, const char *> FlagCatalogue[] = {
     {"faults", "fault-injection plan, e.g. "
                "\"irq-drop(p=0.2);req-stuck(p=0.05,mult=4)\" "
                "(see docs/FAULTS.md)"},
+    {"hedge", "cluster hedged-request latency quantile in (0, 1]; "
+              "0 disables hedging"},
     {"help", "print this flag documentation and exit"},
+    {"link-us", "cluster one-way inter-tier link latency "
+                "(microseconds)"},
     {"jobs", "worker threads for independent simulations "
              "(0 = hardware concurrency)"},
     {"k", "number of k-medoids clusters"},
@@ -168,11 +174,15 @@ const std::pair<const char *, const char *> FlagCatalogue[] = {
     {"retries", "extra attempts per failing job before it is marked "
                 "failed"},
     {"rows", "rows of the per-request behavior table to print"},
+    {"rpc-retries", "cluster attempts per tier hop (first try + "
+                    "retries)"},
     {"rss-log", "append host RSS samples per serve checkpoint to "
                 "this path (host-side; never on stdout)"},
     {"rubis", "RUBiS requests for the mixed-workload phase"},
     {"runs", "seed replicates per configuration"},
     {"seed", "base RNG seed (replicate r runs with a derived seed)"},
+    {"topology", "cluster tier chain: <name>:<replicas>[:<kilo-ins>] "
+                 "comma-separated, e.g. lb:1:20,app:2:80,db:2:140"},
     {"tpch", "TPC-H requests for the mixed-workload phase"},
     {"trace-buf",
      "trace ring capacity per thread in events (0 disables tracing)"},

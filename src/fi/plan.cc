@@ -19,7 +19,7 @@ struct KindEntry
     std::array<const char *, 5> keys;
 };
 
-constexpr std::array<KindEntry, 10> kKinds = {{
+constexpr std::array<KindEntry, 15> kKinds = {{
     {FaultKind::IrqDrop, "irq-drop", {"p", nullptr}},
     {FaultKind::IrqCoalesce, "irq-coalesce", {"p", nullptr}},
     {FaultKind::CtrSaturate, "ctr-saturate", {"cap", nullptr}},
@@ -32,7 +32,32 @@ constexpr std::array<KindEntry, 10> kKinds = {{
     {FaultKind::CtxLoss, "ctx-loss", {"p", nullptr}},
     {FaultKind::JobCrash, "job-crash", {"p", nullptr}},
     {FaultKind::JobTimeout, "job-timeout", {"p", nullptr}},
+    {FaultKind::NodeCrash, "node-crash", {"node", "at-ms", nullptr}},
+    {FaultKind::NodeDegrade,
+     "node-degrade",
+     {"node", "from-ms", "for-ms", "mult", nullptr}},
+    {FaultKind::LinkDrop, "link-drop", {"node", "p", nullptr}},
+    {FaultKind::LinkDelay,
+     "link-delay",
+     {"node", "p", "add-us", nullptr}},
+    {FaultKind::LinkPartition,
+     "link-partition",
+     {"a", "b", "from-ms", "for-ms", nullptr}},
 }};
+
+bool clusterKind(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::NodeCrash:
+      case FaultKind::NodeDegrade:
+      case FaultKind::LinkDrop:
+      case FaultKind::LinkDelay:
+      case FaultKind::LinkPartition:
+        return true;
+      default:
+        return false;
+    }
+}
 
 const KindEntry *entryFor(FaultKind kind)
 {
@@ -201,8 +226,21 @@ bool FaultPlan::hasScenarioFaults() const
 {
     return std::any_of(specs_.begin(), specs_.end(), [](const auto &fs) {
         return fs.kind != FaultKind::JobCrash &&
-               fs.kind != FaultKind::JobTimeout;
+               fs.kind != FaultKind::JobTimeout &&
+               !clusterKind(fs.kind);
     });
+}
+
+bool FaultPlan::hasClusterFaults() const
+{
+    return std::any_of(specs_.begin(), specs_.end(), [](const auto &fs) {
+        return clusterKind(fs.kind);
+    });
+}
+
+bool isClusterFault(FaultKind kind)
+{
+    return clusterKind(kind);
 }
 
 bool FaultPlan::hasJobFaults() const

@@ -49,10 +49,20 @@ enum class FaultKind : std::uint8_t
     // --- exp: failing jobs in the parallel runner -------------------
     JobCrash,     ///< Job body throws.
     JobTimeout,   ///< Job body exceeds its (simulated) deadline.
+
+    // --- dist: cluster node and link faults -------------------------
+    NodeCrash,     ///< Node goes fail-silent at a given time.
+    NodeDegrade,   ///< Node executes slower for a time window.
+    LinkDrop,      ///< Probabilistic message loss on a node's links.
+    LinkDelay,     ///< Probabilistic extra latency on a node's links.
+    LinkPartition, ///< Two nodes cannot talk for a time window.
 };
 
 /** Canonical CLI name of a fault kind ("irq-drop", "req-stuck", ...). */
 const char *faultName(FaultKind kind);
+
+/** Whether a kind belongs to the cluster (node/link) fault group. */
+bool isClusterFault(FaultKind kind);
 
 /** One configured fault: a kind plus its parameters. */
 struct FaultSpec
@@ -104,6 +114,9 @@ class FaultPlan
 
     /** Whether any spec targets the experiment runner layer. */
     bool hasJobFaults() const;
+
+    /** Whether any spec targets the cluster layer (node/link). */
+    bool hasClusterFaults() const;
 
     /** Canonical one-line rendering (re-parseable by parse()). */
     std::string summary() const;

@@ -81,6 +81,18 @@ counterName(Counter c)
         return "diag.anomalies";
       case Counter::DiagUnknownCauses:
         return "diag.unknown_causes";
+      case Counter::OsDroppedDeliveries:
+        return "os.dropped_deliveries";
+      case Counter::DistRpcAttempts:
+        return "dist.rpc_attempts";
+      case Counter::DistRetries:
+        return "dist.retries";
+      case Counter::DistHedges:
+        return "dist.hedges";
+      case Counter::DistFailovers:
+        return "dist.failovers";
+      case Counter::DistBreakerTransitions:
+        return "dist.breaker_transitions";
       case Counter::Count_:
         break;
     }

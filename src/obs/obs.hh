@@ -99,6 +99,12 @@ enum class Counter : std::uint16_t
     ServeStalledRequests,
     DiagAnomalies,
     DiagUnknownCauses,
+    OsDroppedDeliveries,
+    DistRpcAttempts,
+    DistRetries,
+    DistHedges,
+    DistFailovers,
+    DistBreakerTransitions,
     Count_,
 };
 

@@ -23,6 +23,16 @@
 namespace rbv::os {
 
 /**
+ * Fate of one channel message delivery, decided by the fault layer
+ * (cluster link faults: message loss, in-network delay).
+ */
+struct DeliveryFault
+{
+    bool drop = false;        ///< The message is lost.
+    double delayCycles = 0.0; ///< Extra in-network delivery delay.
+};
+
+/**
  * Fault hooks consulted by the kernel. All methods are called on the
  * (single-threaded) simulation event loop of one scenario run, so
  * implementations may keep per-run state without locking.
@@ -64,6 +74,21 @@ class KernelFaults
     {
         (void)core;
         return false;
+    }
+
+    /**
+     * Fate of a message being delivered into a channel (send or
+     * external post). Consulted once per delivery, before sink
+     * dispatch, so reply sinks are covered too; a delayed delivery is
+     * re-scheduled without a second consultation. Default: delivered
+     * untouched.
+     */
+    virtual DeliveryFault messageDelivery(ChannelId channel,
+                                          const Message &msg)
+    {
+        (void)channel;
+        (void)msg;
+        return {};
     }
 };
 

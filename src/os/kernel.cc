@@ -5,6 +5,8 @@
 
 #include "os/kernel.hh"
 
+#include <algorithm>
+
 #include "core/check.hh"
 #include "obs/obs.hh"
 #include "sim/types.hh"
@@ -478,6 +480,28 @@ Kernel::handleSyscall(sim::CoreId core, ThreadId tid,
 
 void
 Kernel::deliver(ChannelId chid, Message msg)
+{
+    if (faults != nullptr) {
+        const DeliveryFault f = faults->messageDelivery(chid, msg);
+        if (f.drop) {
+            ++kstats.droppedDeliveries;
+            RBV_COUNT(OsDroppedDeliveries, 1);
+            return;
+        }
+        if (f.delayCycles > 0.0) {
+            ++kstats.delayedDeliveries;
+            eventQueue().scheduleIn(
+                std::max<sim::Tick>(
+                    static_cast<sim::Tick>(f.delayCycles), 1),
+                [this, chid, msg] { deliverNow(chid, msg); });
+            return;
+        }
+    }
+    deliverNow(chid, msg);
+}
+
+void
+Kernel::deliverNow(ChannelId chid, Message msg)
 {
     ChannelState &ch = channels[chid];
     if (ch.sink) {

@@ -63,6 +63,8 @@ struct KernelStats
     // Fault-injection accounting (zero without a fault layer).
     std::uint64_t lostSwitchContexts = 0; ///< Lost switch hooks.
     double faultStallCycles = 0.0; ///< Injected syscall stall cycles.
+    std::uint64_t droppedDeliveries = 0; ///< Messages lost in-network.
+    std::uint64_t delayedDeliveries = 0; ///< Messages delayed in-network.
 };
 
 /**
@@ -241,8 +243,16 @@ class Kernel : public sim::CoreClient
     bool handleSyscall(sim::CoreId core, ThreadId tid,
                        const ActSyscall &act);
 
-    /** Deliver a message into a channel (send or external post). */
+    /**
+     * Deliver a message into a channel (send or external post),
+     * consulting the fault layer (message loss / in-network delay)
+     * exactly once. The dormant path (no faults attached) is
+     * untouched.
+     */
     void deliver(ChannelId ch, Message msg);
+
+    /** Fault-free delivery core (also the delayed-delivery target). */
+    void deliverNow(ChannelId ch, Message msg);
 
     /** Make a blocked thread runnable and place it on a runqueue. */
     void wake(ThreadId tid);

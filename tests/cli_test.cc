@@ -25,11 +25,13 @@ namespace {
  * when the catalogue entry is missing.
  */
 const std::vector<std::string> BinaryFlags = {
-    "app",  "arrival", "bank", "checkpoint-every", "csv", "diag-out",
-    "diagnose", "duration",
-    "faults", "jobs", "k", "max-outstanding", "ms", "no-hist", "qps",
-    "quiet", "requests", "retries", "rows", "rss-log", "rubis",
-    "runs", "seed", "tpch", "webwork-requests", "window",
+    "app",  "arrival", "bank", "checkpoint-every", "csv",
+    "deadline-us", "diag-out", "diagnose", "duration",
+    "faults", "hedge", "jobs", "k", "link-us", "max-outstanding",
+    "ms", "no-hist", "qps",
+    "quiet", "requests", "retries", "rows", "rpc-retries", "rss-log",
+    "rubis", "runs", "seed", "topology", "tpch", "webwork-requests",
+    "window",
 };
 
 TEST(FlagHelp, EveryBinaryFlagIsDocumented)
@@ -157,6 +159,35 @@ TEST(CliDeath, ServeFlagTypoIsRejected)
                           {"qps", "arrival", "duration"});
         },
         testing::ExitedWithCode(2), "unknown flag --qsp");
+}
+
+TEST(Cli, ClusterFlagsParseWithTheDocumentedShapes)
+{
+    const char *argv[] = {"rbv_cluster",
+                          "--topology=lb:1:20,app:3:80",
+                          "--link-us",     "120",
+                          "--deadline-us", "1500",
+                          "--rpc-retries", "4",
+                          "--hedge",       "0.95"};
+    const Cli cli(10, const_cast<char **>(argv),
+                  {"topology", "link-us", "deadline-us",
+                   "rpc-retries", "hedge"});
+    EXPECT_EQ(cli.getStr("topology", ""), "lb:1:20,app:3:80");
+    EXPECT_DOUBLE_EQ(cli.getDouble("link-us", 0.0), 120.0);
+    EXPECT_DOUBLE_EQ(cli.getDouble("deadline-us", 0.0), 1500.0);
+    EXPECT_EQ(cli.getInt("rpc-retries", 0), 4);
+    EXPECT_DOUBLE_EQ(cli.getDouble("hedge", 0.0), 0.95);
+}
+
+TEST(CliDeath, ClusterFlagTypoIsRejected)
+{
+    const char *argv[] = {"rbv_cluster", "--topolgy", "lb:1"};
+    EXPECT_EXIT(
+        {
+            const Cli cli(3, const_cast<char **>(argv),
+                          {"topology", "link-us", "deadline-us"});
+        },
+        testing::ExitedWithCode(2), "unknown flag --topolgy");
 }
 
 } // namespace

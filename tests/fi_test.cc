@@ -119,6 +119,46 @@ TEST(FaultPlan, LayerPredicates)
     job_only.add(fi::FaultKind::JobCrash, {{"p", 1.0}});
     EXPECT_FALSE(job_only.hasScenarioFaults());
     EXPECT_TRUE(job_only.hasJobFaults());
+
+    fi::FaultPlan cluster_only;
+    cluster_only.add(fi::FaultKind::NodeCrash, {{"node", 1.0}});
+    EXPECT_FALSE(cluster_only.hasScenarioFaults());
+    EXPECT_FALSE(cluster_only.hasJobFaults());
+    EXPECT_TRUE(cluster_only.hasClusterFaults());
+    EXPECT_FALSE(sim_only.hasClusterFaults());
+    EXPECT_TRUE(fi::isClusterFault(fi::FaultKind::LinkPartition));
+    EXPECT_FALSE(fi::isClusterFault(fi::FaultKind::IrqDrop));
+}
+
+TEST(FaultPlan, ClusterKindsParseAndRejectTypos)
+{
+    fi::FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(fi::FaultPlan::parse(
+        "node-crash(node=1,at-ms=20); "
+        "node-degrade(node=3,from-ms=10,for-ms=100,mult=6); "
+        "link-drop(node=3,p=0.05); "
+        "link-delay(node=-1,p=0.5,add-us=200); "
+        "link-partition(a=0,b=1,from-ms=5,for-ms=30)",
+        plan, err))
+        << err;
+    ASSERT_EQ(plan.size(), 5u);
+    EXPECT_EQ(plan.specs()[0].kind, fi::FaultKind::NodeCrash);
+    EXPECT_DOUBLE_EQ(plan.specs()[0].param("at-ms", 0.0), 20.0);
+    EXPECT_EQ(plan.specs()[4].kind, fi::FaultKind::LinkPartition);
+    EXPECT_DOUBLE_EQ(plan.specs()[4].param("b", -1.0), 1.0);
+
+    fi::FaultPlan again;
+    ASSERT_TRUE(fi::FaultPlan::parse(plan.summary(), again, err))
+        << err;
+    EXPECT_EQ(again.summary(), plan.summary());
+
+    EXPECT_FALSE(
+        fi::FaultPlan::parse("node-crsh(node=1)", plan, err));
+    EXPECT_NE(err.find("unknown fault"), std::string::npos);
+    EXPECT_FALSE(
+        fi::FaultPlan::parse("link-drop(prob=0.1)", plan, err));
+    EXPECT_NE(err.find("no parameter"), std::string::npos);
 }
 
 TEST(UnitIntervalHash, DeterministicAndBounded)
