@@ -18,6 +18,7 @@
 
 #include <iostream>
 
+#include "core/model/cascade.hh"
 #include "core/model/distance.hh"
 #include "core/model/kmedoids.hh"
 #include "exp/analysis.hh"
@@ -99,35 +100,51 @@ main(int argc, char **argv)
         std::vector<std::string> row_a = {wl::appDisplayName(app)};
         std::vector<std::string> row_b = {wl::appDisplayName(app)};
 
-        for (core::Measure m : AllMeasures) {
-            auto dist = [&](std::size_t i,
-                            std::size_t j) -> double {
-                switch (m) {
-                  case core::Measure::LevenshteinSyscalls:
-                    return core::levenshteinDistance(
-                        res.records[i].syscalls,
-                        res.records[j].syscalls, 256);
-                  case core::Measure::AvgMetric:
-                    return core::avgMetricDistance(series[i],
-                                                   series[j]);
-                  case core::Measure::L1:
-                    return core::l1Distance(series[i], series[j],
-                                            penalty);
-                  case core::Measure::Dtw:
-                    return core::dtwDistance(series[i], series[j]);
-                  case core::Measure::DtwAsyncPenalty:
-                    return core::dtwDistance(series[i], series[j],
-                                             penalty);
-                }
-                return 0.0;
-            };
+        std::vector<const core::MetricSeries *> items;
+        items.reserve(series.size());
+        for (const auto &s : series)
+            items.push_back(&s);
 
-            // dist is pure in (i, j), so the parallel build is
-            // byte-identical at any --jobs; the tables cannot change.
-            const auto dm = core::DistanceMatrix::build(
-                series.size(), dist, jobsFlag(cli));
-            stats::Rng crng(seed + 99);
-            const auto cl = core::kMedoids(dm, k, crng);
+        for (core::Measure m : AllMeasures) {
+            core::Clustering cl;
+            if (m == core::Measure::Dtw ||
+                m == core::Measure::DtwAsyncPenalty) {
+                // DTW measures run the lower-bound cascade:
+                // kMedoidsCascade is bit-identical to kMedoids over
+                // the full matrix (same seeding draw, strict-<
+                // winners, summation order), so the tables cannot
+                // change — most pairwise DPs just never run.
+                const double p =
+                    m == core::Measure::Dtw ? 0.0 : penalty;
+                core::DistanceCascade dc(items.data(), items.size(),
+                                         p);
+                stats::Rng crng(seed + 99);
+                cl = core::kMedoidsCascade(dc, k, crng);
+            } else {
+                auto dist = [&](std::size_t i,
+                                std::size_t j) -> double {
+                    switch (m) {
+                      case core::Measure::LevenshteinSyscalls:
+                        return core::levenshteinDistance(
+                            res.records[i].syscalls,
+                            res.records[j].syscalls, 256);
+                      case core::Measure::AvgMetric:
+                        return core::avgMetricDistance(series[i],
+                                                       series[j]);
+                      default:
+                        return core::l1Distance(series[i], series[j],
+                                                penalty);
+                    }
+                };
+
+                // dist is pure in (i, j), so the parallel build is
+                // byte-identical at any --jobs; the tables cannot
+                // change.
+                const auto dm = core::DistanceMatrix::build(
+                    series.size(), dist, jobsFlag(cli));
+                stats::Rng crng(seed + 99);
+                cl = core::kMedoids(dm, k, crng);
+            }
 
             row_a.push_back(stats::Table::pct(
                 core::divergenceFromCentroid(cl, cpu), 1));

@@ -31,8 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "core/model/cascade.hh"
 #include "core/model/distance.hh"
 #include "core/model/distance_ref.hh"
+#include "core/model/distance_scratch.hh"
+#include "core/model/dtw_simd.hh"
 #include "core/model/kmedoids.hh"
 #include "stats/rng.hh"
 
@@ -239,6 +242,51 @@ nsPerOp(Fn &&fn)
     return best_ms * 1e6 / static_cast<double>(iters);
 }
 
+/**
+ * A class-structured series: smooth per-class template (distinct
+ * level and phase per class) plus small noise. Clustering workloads
+ * look like this — a few behavior classes, not i.i.d. noise — and
+ * only on such inputs are cascade prune rates honest numbers rather
+ * than an artifact of uniformly random data.
+ */
+MetricSeries
+classSeries(std::size_t len, std::size_t cls, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    MetricSeries s;
+    s.reserve(len);
+    const double base = 1.0 + 0.9 * static_cast<double>(cls);
+    const double freq = 0.05 + 0.01 * static_cast<double>(cls);
+    for (std::size_t k = 0; k < len; ++k)
+        s.push_back(base +
+                    0.4 * std::sin(freq * static_cast<double>(k)) +
+                    rng.uniform(-0.08, 0.08));
+    return s;
+}
+
+/** A smooth random walk (banded DTW's certifying regime). */
+MetricSeries
+smoothSeries(std::size_t n, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    MetricSeries s;
+    s.reserve(n);
+    double v = 2.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        v += rng.uniform(-0.03, 0.03);
+        s.push_back(v);
+    }
+    return s;
+}
+
+/** Bitwise equality of two clusterings (the cascade contract). */
+bool
+sameClustering(const Clustering &a, const Clustering &b)
+{
+    return a.medoids == b.medoids && a.assignment == b.assignment &&
+           a.totalCost == b.totalCost;
+}
+
 int
 emitTrajectory(const std::string &path)
 {
@@ -248,21 +296,54 @@ emitTrajectory(const std::string &path)
     const auto sx = randomSyscalls(2048, 1);
     const auto sy = randomSyscalls(2048, 2);
 
+    // Banded DTW benchmarks in its working regime: same-length
+    // smooth series, one a 2-step shift of the other, band wide
+    // enough that the greedy probe certifies. The random unequal-
+    // length pair above can never certify at len 512 (its exact
+    // distance dwarfs the exit bound), so it doubles as the
+    // fallback-regime row — banded must cost ~the full kernel there,
+    // not more (the pre-PR regression).
+    constexpr std::size_t Band = 24;
+    const auto bx = smoothSeries(KernelLen, 11);
+    MetricSeries by(bx.begin() + 2, bx.end());
+    by.push_back(bx.back());
+    by.push_back(bx.back());
+
     // Cross-check the fast kernels against the reference before
     // trusting any timing: a fast-but-wrong kernel must not become
     // the baseline.
     const double dtw_ref = ref::dtwDistance(x, y, 1.0);
     const double dtw_new = dtwDistance(x, y, 1.0);
-    const double dtw_band = dtwDistanceBanded(x, y, 1.0, KernelLen / 8);
+    const double dtw_band_fb = dtwDistanceBanded(x, y, 1.0, Band);
+    const double band_ref = ref::dtwDistance(bx, by, 1.0);
+    const double dtw_band = dtwDistanceBanded(bx, by, 1.0, Band);
     const double lev_ref = ref::levenshteinDistance(sx, sy, 512);
     const double lev_new = levenshteinDistance(sx, sy, 512);
-    if (dtw_new != dtw_ref || dtw_band != dtw_ref ||
-        lev_new != lev_ref) {
+    if (dtw_new != dtw_ref || dtw_band_fb != dtw_ref ||
+        dtw_band != band_ref || lev_new != lev_ref) {
         std::cerr << "FATAL: kernel/reference mismatch (dtw "
-                  << dtw_new << "/" << dtw_band << " vs " << dtw_ref
-                  << ", lev " << lev_new << " vs " << lev_ref
-                  << ")\n";
+                  << dtw_new << "/" << dtw_band_fb << " vs "
+                  << dtw_ref << ", banded " << dtw_band << " vs "
+                  << band_ref << ", lev " << lev_new << " vs "
+                  << lev_ref << ")\n";
         return 1;
+    }
+
+    // Dispatch equivalence: every kernel behind dtwDistance must
+    // agree bitwise on the same inputs (the AVX2 path must not
+    // silently diverge on hosts that have it).
+    {
+        DistanceScratch &scr = threadDistanceScratch();
+        const double d_scalar = core::detail::dtwDiagScalar(
+            x.data(), x.size(), y.data(), y.size(), 1.0, scr);
+        if (d_scalar != dtw_ref ||
+            (core::detail::dtwAvx2Available() &&
+             core::detail::dtwDiagAvx2(x.data(), x.size(), y.data(),
+                                       y.size(), 1.0,
+                                       scr) != dtw_ref)) {
+            std::cerr << "FATAL: diag kernel dispatch diverges\n";
+            return 1;
+        }
     }
 
     const double dtw_ref_ns =
@@ -272,7 +353,10 @@ emitTrajectory(const std::string &path)
         [&] { benchmark::DoNotOptimize(dtwDistance(x, y, 1.0)); });
     const double dtw_band_ns = nsPerOp([&] {
         benchmark::DoNotOptimize(
-            dtwDistanceBanded(x, y, 1.0, KernelLen / 8));
+            dtwDistanceBanded(bx, by, 1.0, Band));
+    });
+    const double dtw_band_fb_ns = nsPerOp([&] {
+        benchmark::DoNotOptimize(dtwDistanceBanded(x, y, 1.0, Band));
     });
     const double ea_cutoff = dtw_ref * 0.5;
     const double dtw_ea_ns = nsPerOp([&] {
@@ -287,15 +371,19 @@ emitTrajectory(const std::string &path)
         benchmark::DoNotOptimize(levenshteinDistance(sx, sy, 512));
     });
 
-    // Matrix build: the ISSUE's headline number. Wall time of the
-    // pre-PR scalar path (std::function + per-call allocation) vs
-    // the fast path serial and at 4 jobs, over identical inputs;
-    // results are required to be byte-identical.
+    // Matrix build + clustering: the ISSUE's headline numbers. Wall
+    // time of the pre-PR scalar path (std::function + per-call
+    // allocation) vs the fast full build (serial / 4 jobs) vs the
+    // lower-bound cascade, over identical class-structured inputs;
+    // matrix cells and the clustering are required to be
+    // byte-identical across every path.
     constexpr std::size_t MatrixN = 96;
+    constexpr std::size_t Classes = 4;
     std::vector<MetricSeries> series;
     series.reserve(MatrixN);
     for (std::size_t i = 0; i < MatrixN; ++i)
-        series.push_back(randomSeries(192 + i % 64, i + 1));
+        series.push_back(
+            classSeries(192 + i % 64, i % Classes, i + 1));
     const auto cell = [&](std::size_t i, std::size_t j) {
         return dtwDistance(series[i], series[j], 1.0);
     };
@@ -306,6 +394,8 @@ emitTrajectory(const std::string &path)
             return ref::dtwDistance(series[i], series[j], 1.0);
         });
     const double ref_ms = elapsedMs(t0);
+    stats::Rng rng_ref(42);
+    const auto cl_ref = kMedoids(dm_ref, Classes, rng_ref);
 
     t0 = Clock::now();
     const auto dm_serial = DistanceMatrix::build(MatrixN, cell, 1);
@@ -315,7 +405,20 @@ emitTrajectory(const std::string &path)
     const auto dm_par = DistanceMatrix::build(MatrixN, cell, 4);
     const double par4_ms = elapsedMs(t0);
 
-    bool identical = true;
+    // The cascade replaces build + cluster in one shot: time it as
+    // such (envelopes + pruned kMedoids), and demand the identical
+    // clustering.
+    std::vector<const MetricSeries *> items;
+    items.reserve(MatrixN);
+    for (const auto &s : series)
+        items.push_back(&s);
+    t0 = Clock::now();
+    DistanceCascade dc(items.data(), MatrixN, 1.0);
+    stats::Rng rng_casc(42);
+    const auto cl_casc = kMedoidsCascade(dc, Classes, rng_casc);
+    const double cascade_ms = elapsedMs(t0);
+
+    bool identical = sameClustering(cl_ref, cl_casc);
     for (std::size_t i = 0; i < MatrixN && identical; ++i)
         for (std::size_t j = i + 1; j < MatrixN; ++j)
             if (dm_ref.at(i, j) != dm_serial.at(i, j) ||
@@ -324,27 +427,77 @@ emitTrajectory(const std::string &path)
                 break;
             }
     if (!identical) {
-        std::cerr << "FATAL: matrix build results diverge\n";
+        std::cerr << "FATAL: matrix/cascade results diverge\n";
         return 1;
     }
     const double speedup = ref_ms / par4_ms;
+    const double speedup_casc = ref_ms / cascade_ms;
+    const CascadeStats cs = dc.stats();
+    // Fraction of distance queries answered without running a fresh
+    // DP (bound prune, memo hit, or trivial i==j). Early-abandoned
+    // DPs still count as runs: the DP started, it just quit early.
+    const double lookups =
+        std::max<double>(1.0, static_cast<double>(cs.lookups));
+    const double pruned_frac =
+        static_cast<double>(cs.lookups - cs.dpRuns) / lookups;
+
+    // n-scaling of the cascade clustering path (shorter series so
+    // the n=1024 row stays in seconds even on one core).
+    constexpr std::size_t ScaleLens[] = {96, 256, 1024};
+    double scale_ms[3];
+    std::uint64_t scale_dp[3], scale_cells[3];
+    for (int si = 0; si < 3; ++si) {
+        const std::size_t sn = ScaleLens[si];
+        std::vector<MetricSeries> ss;
+        ss.reserve(sn);
+        for (std::size_t i = 0; i < sn; ++i)
+            ss.push_back(
+                classSeries(128 + i % 32, i % Classes, i + 7));
+        std::vector<const MetricSeries *> sp;
+        sp.reserve(sn);
+        for (const auto &s : ss)
+            sp.push_back(&s);
+        t0 = Clock::now();
+        DistanceCascade sdc(sp.data(), sn, 1.0);
+        stats::Rng srng(42);
+        benchmark::DoNotOptimize(kMedoidsCascade(sdc, Classes, srng));
+        scale_ms[si] = elapsedMs(t0);
+        scale_dp[si] = sdc.stats().dpRuns;
+        scale_cells[si] =
+            static_cast<std::uint64_t>(sn) * (sn - 1) / 2;
+    }
+
+    // Full-matrix build at 1/2/4 jobs over the fast kernel: on a
+    // multi-core host this demonstrates parallel scaling without
+    // lying on a 1-CPU runner (host_cpus is recorded next to it).
+    const int sweep_jobs[] = {1, 2, 4};
+    double sweep_ms[3];
+    for (int si = 0; si < 3; ++si) {
+        t0 = Clock::now();
+        benchmark::DoNotOptimize(
+            DistanceMatrix::build(MatrixN, cell, sweep_jobs[si]));
+        sweep_ms[si] = elapsedMs(t0);
+    }
 
     std::ofstream os(path);
     if (!os) {
         std::cerr << "cannot write " << path << "\n";
         return 1;
     }
-    char buf[2048];
+    char buf[4096];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
         "  \"bench\": \"distance\",\n"
+        "  \"schema\": 2,\n"
         "  \"host_cpus\": %u,\n"
+        "  \"kernel_id\": \"%s\",\n"
         "  \"series_len\": %zu,\n"
         "  \"kernels_ns_op\": {\n"
         "    \"dtw_ref\": %.1f,\n"
         "    \"dtw\": %.1f,\n"
         "    \"dtw_banded\": %.1f,\n"
+        "    \"dtw_banded_fallback\": %.1f,\n"
         "    \"dtw_early_abandon\": %.1f,\n"
         "    \"levenshtein_ref\": %.1f,\n"
         "    \"levenshtein\": %.1f\n"
@@ -354,28 +507,87 @@ emitTrajectory(const std::string &path)
         "    \"ref_wall_ms\": %.2f,\n"
         "    \"serial_wall_ms\": %.2f,\n"
         "    \"par4_wall_ms\": %.2f,\n"
+        "    \"cascade_wall_ms\": %.2f,\n"
         "    \"speedup_par4_vs_ref\": %.2f,\n"
+        "    \"speedup_cascade_vs_ref\": %.2f,\n"
         "    \"byte_identical\": true\n"
-        "  }\n"
+        "  },\n"
+        "  \"prune_rates\": {\n"
+        "    \"lookups\": %llu,\n"
+        "    \"lb_kim_prunes\": %llu,\n"
+        "    \"lb_keogh_prunes\": %llu,\n"
+        "    \"early_abandons\": %llu,\n"
+        "    \"memo_hits\": %llu,\n"
+        "    \"dp_runs\": %llu,\n"
+        "    \"pruned_frac\": %.3f\n"
+        "  },\n"
+        "  \"n_scaling\": [\n"
+        "    {\"n\": %zu, \"wall_ms\": %.2f, \"dp_runs\": %llu, "
+        "\"cells\": %llu},\n"
+        "    {\"n\": %zu, \"wall_ms\": %.2f, \"dp_runs\": %llu, "
+        "\"cells\": %llu},\n"
+        "    {\"n\": %zu, \"wall_ms\": %.2f, \"dp_runs\": %llu, "
+        "\"cells\": %llu}\n"
+        "  ],\n"
+        "  \"jobs_sweep\": [\n"
+        "    {\"jobs\": 1, \"wall_ms\": %.2f},\n"
+        "    {\"jobs\": 2, \"wall_ms\": %.2f},\n"
+        "    {\"jobs\": 4, \"wall_ms\": %.2f}\n"
+        "  ]\n"
         "}\n",
-        std::thread::hardware_concurrency(), KernelLen, dtw_ref_ns,
-        dtw_ns, dtw_band_ns, dtw_ea_ns, lev_ref_ns, lev_ns, MatrixN,
-        ref_ms, serial_ms, par4_ms, speedup);
+        std::thread::hardware_concurrency(),
+        core::detail::dtwKernelId(), KernelLen, dtw_ref_ns, dtw_ns,
+        dtw_band_ns, dtw_band_fb_ns, dtw_ea_ns, lev_ref_ns, lev_ns,
+        MatrixN, ref_ms, serial_ms, par4_ms, cascade_ms, speedup,
+        speedup_casc,
+        static_cast<unsigned long long>(cs.lookups),
+        static_cast<unsigned long long>(cs.kimPrunes),
+        static_cast<unsigned long long>(cs.keoghPrunes),
+        static_cast<unsigned long long>(cs.eaAbandons),
+        static_cast<unsigned long long>(cs.memoHits),
+        static_cast<unsigned long long>(cs.dpRuns), pruned_frac,
+        ScaleLens[0], scale_ms[0],
+        static_cast<unsigned long long>(scale_dp[0]),
+        static_cast<unsigned long long>(scale_cells[0]),
+        ScaleLens[1], scale_ms[1],
+        static_cast<unsigned long long>(scale_dp[1]),
+        static_cast<unsigned long long>(scale_cells[1]),
+        ScaleLens[2], scale_ms[2],
+        static_cast<unsigned long long>(scale_dp[2]),
+        static_cast<unsigned long long>(scale_cells[2]),
+        sweep_ms[0], sweep_ms[1], sweep_ms[2]);
     os << buf;
 
     // Human-readable echo of the before/after table.
-    std::printf("kernel ns/op (len %zu):\n", KernelLen);
-    std::printf("  dtw             %10.1f  (ref %10.1f, %.2fx)\n",
+    std::printf("kernel ns/op (len %zu, %s kernel):\n", KernelLen,
+                core::detail::dtwKernelId());
+    std::printf("  dtw               %10.1f  (ref %10.1f, %.2fx)\n",
                 dtw_ns, dtw_ref_ns, dtw_ref_ns / dtw_ns);
-    std::printf("  dtw banded      %10.1f\n", dtw_band_ns);
-    std::printf("  dtw early-abandon %8.1f\n", dtw_ea_ns);
-    std::printf("  levenshtein     %10.1f  (ref %10.1f, %.2fx)\n",
+    std::printf("  dtw banded        %10.1f  (fallback regime "
+                "%10.1f)\n",
+                dtw_band_ns, dtw_band_fb_ns);
+    std::printf("  dtw early-abandon %10.1f\n", dtw_ea_ns);
+    std::printf("  levenshtein       %10.1f  (ref %10.1f, %.2fx)\n",
                 lev_ns, lev_ref_ns, lev_ref_ns / lev_ns);
-    std::printf("matrix build n=%zu: ref %.2f ms, serial %.2f ms, "
-                "4 jobs %.2f ms (%.2fx vs ref, byte-identical, "
-                "%u host cpus)\n",
+    std::printf("matrix n=%zu: ref %.2f ms, serial %.2f ms, 4 jobs "
+                "%.2f ms (%.2fx), cascade %.2f ms (%.2fx vs ref, "
+                "byte-identical, %u host cpus)\n",
                 MatrixN, ref_ms, serial_ms, par4_ms, speedup,
+                cascade_ms, speedup_casc,
                 std::thread::hardware_concurrency());
+    std::printf("cascade prunes: %llu kim + %llu keogh + %llu "
+                "abandoned of %llu lookups (%llu DPs ran, pruned "
+                "frac %.3f)\n",
+                static_cast<unsigned long long>(cs.kimPrunes),
+                static_cast<unsigned long long>(cs.keoghPrunes),
+                static_cast<unsigned long long>(cs.eaAbandons),
+                static_cast<unsigned long long>(cs.lookups),
+                static_cast<unsigned long long>(cs.dpRuns),
+                pruned_frac);
+    std::printf("n-scaling (len ~128): n=%zu %.2f ms, n=%zu %.2f "
+                "ms, n=%zu %.2f ms\n",
+                ScaleLens[0], scale_ms[0], ScaleLens[1], scale_ms[1],
+                ScaleLens[2], scale_ms[2]);
     std::printf("wrote %s\n", path.c_str());
     return 0;
 }

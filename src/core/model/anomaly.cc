@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/model/cascade.hh"
 #include "core/model/distance.hh"
+#include "obs/obs.hh"
 #include "stats/summary.hh"
 
 namespace rbv::core {
@@ -80,6 +82,22 @@ detectMetricPairAnomaly(const std::vector<MetricSeries> &refs_series,
     if (n < 2)
         return out;
 
+    // Refs-side envelopes for the LB cascade: the pair search only
+    // consumes a refs distance when it is small enough to displace
+    // the incumbent, so most refs DPs are rejected by a sound lower
+    // bound before they start. The radius spans the worst pairwise
+    // length mismatch (plus warp slack); it tunes prune rates only.
+    std::size_t max_len = 0, min_len = ~std::size_t{0};
+    for (const auto &s : refs_series) {
+        max_len = std::max(max_len, s.size());
+        min_len = std::min(min_len, s.size());
+    }
+    const std::size_t radius =
+        (max_len - min_len) + std::max<std::size_t>(1, max_len / 16);
+    std::vector<SeriesEnvelope> envs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buildEnvelope(refs_series[i], radius, envs[i]);
+
     // Normalize distances per metric by series length so the score
     // is scale-free, then search all pairs.
     double best_score = -1.0;
@@ -103,9 +121,35 @@ detectMetricPairAnomaly(const std::vector<MetricSeries> &refs_series,
             // number) is unchanged.
             double dref;
             if (best_score > 0.0) {
+                const double cutoff = dcpi / best_score * len;
+                // LB cascade ahead of the DP: a deflated bound
+                // >= cutoff proves the exact refs distance is too
+                // (LbPruneMargin absorbs summation-order rounding),
+                // which is exactly the condition under which the
+                // abandoned DP would have returned inf — so skipping
+                // here changes nothing downstream.
+                if (lbKim(refs_series[i], refs_series[j],
+                          refs_penalty) *
+                        LbPruneMargin >=
+                    cutoff) {
+                    RBV_COUNT(ModelLbKimPrunes, 1);
+                    continue;
+                }
+                if (lbKeogh(refs_series[i], refs_series[j], envs[j],
+                            refs_penalty) *
+                            LbPruneMargin >=
+                        cutoff ||
+                    lbKeogh(refs_series[j], refs_series[i], envs[i],
+                            refs_penalty) *
+                            LbPruneMargin >=
+                        cutoff) {
+                    RBV_COUNT(ModelLbKeoghPrunes, 1);
+                    continue;
+                }
+                RBV_COUNT(ModelCascadeDpRuns, 1);
                 const double raw = dtwDistanceEarlyAbandon(
                     refs_series[i], refs_series[j], refs_penalty,
-                    dcpi / best_score * len);
+                    cutoff);
                 if (std::isinf(raw))
                     continue;
                 dref = raw / len;

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Lower-bound cascade implementation.
+ */
+
+#include "core/model/cascade.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.hh"
+#include "core/model/distance.hh"
+#include "obs/obs.hh"
+
+namespace rbv::core {
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/**
+ * The corner cells every warp path pays: (0,0) always, (m-1,n-1)
+ * whenever it is a distinct cell. Shared by both bounds so
+ * LB_Kim <= LB_Keogh is structural, never a rounding accident.
+ */
+inline double
+cornerCost(const MetricSeries &x, const MetricSeries &y)
+{
+    const double c0 = std::abs(x.front() - y.front());
+    return (x.size() > 1 || y.size() > 1)
+               ? c0 + std::abs(x.back() - y.back())
+               : c0;
+}
+
+} // namespace
+
+void
+buildEnvelope(const MetricSeries &s, std::size_t radius,
+              SeriesEnvelope &out)
+{
+    const std::size_t n = s.size();
+    out.radius = radius;
+    out.lower.resize(n);
+    out.upper.resize(n);
+    if (n == 0)
+        return;
+
+    // Monotonic deque over the sliding window [c-r, c+r]: indices
+    // enter in order, dominated values are popped from the back, and
+    // stale indices fall off the front, so each sweep is O(n)
+    // amortized. One index buffer serves both sweeps.
+    std::vector<std::size_t> dq;
+    dq.reserve(n);
+    auto sweep = [&](bool is_max, std::vector<double> &dst) {
+        dq.clear();
+        std::size_t head = 0;
+        std::size_t next = 0;
+        for (std::size_t c = 0; c < n; ++c) {
+            const std::size_t hi = std::min(n - 1, c + radius);
+            for (; next <= hi; ++next) {
+                while (dq.size() > head &&
+                       (is_max ? s[dq.back()] <= s[next]
+                               : s[dq.back()] >= s[next]))
+                    dq.pop_back();
+                dq.push_back(next);
+            }
+            const std::size_t lo = c > radius ? c - radius : 0;
+            while (dq[head] < lo)
+                ++head;
+            dst[c] = s[dq[head]];
+        }
+    };
+    sweep(true, out.upper);
+    sweep(false, out.lower);
+}
+
+double
+lbKim(const MetricSeries &x, const MetricSeries &y,
+      double async_penalty)
+{
+    const std::size_t m = x.size(), n = y.size();
+    if (m == 0 || n == 0)
+        return static_cast<double>(m + n) * async_penalty;
+    const std::size_t diff = m > n ? m - n : n - m;
+    return cornerCost(x, y) +
+           static_cast<double>(diff) * async_penalty;
+}
+
+double
+lbKeogh(const MetricSeries &x, const MetricSeries &y,
+        const SeriesEnvelope &env_y, double async_penalty)
+{
+    const std::size_t m = x.size(), n = y.size();
+    if (m == 0 || n == 0)
+        return static_cast<double>(m + n) * async_penalty;
+
+    const std::size_t diff = m > n ? m - n : n - m;
+    const std::size_t r = env_y.radius;
+    const double corners = cornerCost(x, y);
+    const double mismatch =
+        static_cast<double>(diff) * async_penalty;
+
+    // The in-band row argument needs the band to admit a path at all
+    // (r >= |m-n|); below that, fall back to the corner bound.
+    if (r < diff)
+        return corners + mismatch;
+
+    // In-band case: every interior row i is visited at some column
+    // within [i-r, i+r], costing at least its distance outside the
+    // envelope there. Clamping the envelope center to n-1 only
+    // widens the window (it is a superset of [i-r, i+r] ∩ [0, n-1]
+    // for i >= n-1), so the bound stays sound for m > n.
+    double sum_e = 0.0;
+    for (std::size_t i = 1; i + 1 < m; ++i) {
+        const std::size_t c = std::min(i, n - 1);
+        const double xi = x[i];
+        if (xi > env_y.upper[c])
+            sum_e += xi - env_y.upper[c];
+        else if (xi < env_y.lower[c])
+            sum_e += env_y.lower[c] - xi;
+    }
+    const double in_band = mismatch + sum_e;
+
+    // No cell lies outside a band that spans the whole grid; only
+    // then is the in-band case the only case.
+    if (r >= std::max(m, n) - 1)
+        return corners + in_band;
+
+    // Exit case: reaching offset |i-j| = r+1 and still ending at
+    // offset |m-n| takes at least 2*(r+1) - |m-n| asynchronous
+    // steps — the dtwDistanceBanded exactness-guard argument.
+    const double exit_cost =
+        (2.0 * static_cast<double>(r + 1) -
+         static_cast<double>(diff)) *
+        async_penalty;
+    return corners + std::min(in_band, exit_cost);
+}
+
+DistanceCascade::DistanceCascade(const MetricSeries *const *items_,
+                                 std::size_t n, double async_penalty)
+    : items(items_), count(n), asyncPenalty(async_penalty),
+      envelopes(n),
+      memo(n < 2 ? 0 : n * (n - 1) / 2,
+           std::numeric_limits<double>::quiet_NaN())
+{
+    // One radius for the whole set: wide enough that every pair's
+    // length mismatch fits inside the band (so the envelope arm of
+    // LB_Keogh applies everywhere), plus slack for genuine warping.
+    // The radius only tunes bound tightness, never soundness.
+    std::size_t max_len = 0, min_len = ~std::size_t{0};
+    for (std::size_t i = 0; i < n; ++i) {
+        max_len = std::max(max_len, items[i]->size());
+        min_len = std::min(min_len, items[i]->size());
+    }
+    if (n == 0)
+        min_len = 0;
+    const std::size_t radius =
+        (max_len - min_len) + std::max<std::size_t>(1, max_len / 16);
+    for (std::size_t i = 0; i < n; ++i)
+        buildEnvelope(*items[i], radius, envelopes[i]);
+}
+
+std::size_t
+DistanceCascade::packedIndex(std::size_t i, std::size_t j) const
+{
+    if (j < i)
+        std::swap(i, j);
+    return i * (count - 1) - i * (i - 1) / 2 + (j - i - 1);
+}
+
+double
+DistanceCascade::memoAt(std::size_t i, std::size_t j) const
+{
+    return i == j ? 0.0 : memo[packedIndex(i, j)];
+}
+
+double
+DistanceCascade::exact(std::size_t i, std::size_t j)
+{
+    ++tallies.lookups;
+    if (i == j)
+        return 0.0;
+    double &cell = memo[packedIndex(i, j)];
+    if (std::isnan(cell)) {
+        ++tallies.dpRuns;
+        RBV_COUNT(ModelCascadeDpRuns, 1);
+        cell = dtwDistance(*items[i], *items[j], asyncPenalty);
+    } else {
+        ++tallies.memoHits;
+    }
+    return cell;
+}
+
+bool
+DistanceCascade::atMost(std::size_t i, std::size_t j, double cutoff,
+                        double &d)
+{
+    ++tallies.lookups;
+    if (i == j) {
+        d = 0.0;
+        return true;
+    }
+    double &cell = memo[packedIndex(i, j)];
+    if (!std::isnan(cell)) {
+        ++tallies.memoHits;
+        if (cell >= cutoff)
+            return false;
+        d = cell;
+        return true;
+    }
+
+    const MetricSeries &x = *items[i];
+    const MetricSeries &y = *items[j];
+    if (lbKim(x, y, asyncPenalty) * LbPruneMargin >= cutoff) {
+        ++tallies.kimPrunes;
+        RBV_COUNT(ModelLbKimPrunes, 1);
+        return false;
+    }
+    if (lbKeogh(x, y, envelopes[j], asyncPenalty) * LbPruneMargin >=
+            cutoff ||
+        lbKeogh(y, x, envelopes[i], asyncPenalty) * LbPruneMargin >=
+            cutoff) {
+        ++tallies.keoghPrunes;
+        RBV_COUNT(ModelLbKeoghPrunes, 1);
+        return false;
+    }
+
+    ++tallies.dpRuns;
+    RBV_COUNT(ModelCascadeDpRuns, 1);
+    const double raw =
+        dtwDistanceEarlyAbandon(x, y, asyncPenalty, cutoff);
+    if (std::isinf(raw)) {
+        // Provably >= cutoff, but not an exact value: leave the memo
+        // cell unknown so a later query with a looser cutoff still
+        // gets the exact distance.
+        ++tallies.eaAbandons;
+        return false;
+    }
+    cell = raw; // finite early-abandon result == the exact DP value
+    if (raw >= cutoff)
+        return false;
+    d = raw;
+    return true;
+}
+
+double
+DistanceCascade::cheapLowerBound(std::size_t i, std::size_t j) const
+{
+    if (i == j)
+        return 0.0;
+    const double cell = memoAt(i, j);
+    if (!std::isnan(cell))
+        return cell;
+    // Deflated like every prune comparison: sum-abandon adds this to
+    // a running cost and must never overshoot what the exact term
+    // would have produced.
+    return lbKim(*items[i], *items[j], asyncPenalty) * LbPruneMargin;
+}
+
+Clustering
+kMedoidsCascade(DistanceCascade &dc, std::size_t k, stats::Rng &rng,
+                std::size_t max_iter)
+{
+    RBV_PROF_SCOPE(KMedoids);
+    const std::size_t n = dc.size();
+    Clustering cl;
+    if (n == 0)
+        return cl;
+    k = std::min(k, n);
+
+    // Greedy max-min seeding, identical to kMedoids(): the max-min
+    // comparison consumes every distance's value, so seeding runs on
+    // exact (memoized) distances — k*n cells, a sliver of the
+    // n*(n-1)/2 the cascade saves later.
+    std::vector<std::size_t> medoids;
+    medoids.push_back(rng.uniformInt(n));
+    std::vector<double> min_d(n, Inf);
+    while (medoids.size() < k) {
+        for (std::size_t i = 0; i < n; ++i)
+            min_d[i] = std::min(min_d[i], dc.exact(i, medoids.back()));
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (min_d[i] > far_d) {
+                far_d = min_d[i];
+                far = i;
+            }
+        }
+        medoids.push_back(far);
+    }
+
+    // Pruned nearest-medoid argmin. The winner is decided by strict
+    // <, so skipping any candidate with d >= best_d cannot change it
+    // — and that is exactly what atMost() proves when it returns
+    // false. The surviving winner's distance is the exact value, so
+    // best_d (and with it totalCost) matches the matrix path bit for
+    // bit.
+    auto assignOne = [&](std::size_t i, double &best_d) {
+        std::size_t best = 0;
+        best_d = Inf;
+        for (std::size_t c = 0; c < medoids.size(); ++c) {
+            double d;
+            if (dc.atMost(i, medoids[c], best_d, d) && d < best_d) {
+                best_d = d;
+                best = c;
+            }
+        }
+        return best;
+    };
+
+    std::vector<std::size_t> assign(n, 0);
+    std::vector<std::vector<std::size_t>> members(medoids.size());
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double best_d;
+            assign[i] = assignOne(i, best_d);
+        }
+
+        for (auto &m : members)
+            m.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            members[assign[i]].push_back(i);
+
+        // Re-election with sum-abandon: member sums accumulate in
+        // the same ascending order as kMedoids(), so a completed sum
+        // is the identical float. A candidate is dropped as soon as
+        // its partial sum plus a lower bound on the next term
+        // reaches best_cost — every remaining term is nonnegative
+        // and the incumbent is only displaced by strict <, so the
+        // true winner (whose full sum is strictly smaller) can never
+        // be dropped, and best_cost only ever holds fully-summed
+        // values.
+        bool changed = false;
+        for (std::size_t c = 0; c < medoids.size(); ++c) {
+            std::size_t best = medoids[c];
+            double best_cost = Inf;
+            for (const std::size_t i : members[c]) {
+                double cost = 0.0;
+                bool viable = true;
+                for (const std::size_t j : members[c]) {
+                    if (cost + dc.cheapLowerBound(i, j) >=
+                        best_cost) {
+                        viable = false;
+                        break;
+                    }
+                    cost += dc.exact(i, j);
+                }
+                if (viable && cost < best_cost) {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            if (best != medoids[c]) {
+                medoids[c] = best;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double best_d;
+        assign[i] = assignOne(i, best_d);
+        total += best_d;
+    }
+
+    cl.medoids = std::move(medoids);
+    cl.assignment = std::move(assign);
+    cl.totalCost = total;
+    return cl;
+}
+
+} // namespace rbv::core

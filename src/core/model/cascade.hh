@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Lower-bound cascade for the async-penalty DTW of Eq. 3.
+ *
+ * Most distance evaluations in clustering and identification are
+ * comparisons against a best-so-far value, not free-standing numbers:
+ * k-medoids assignment wants argmin over medoids, re-election wants
+ * the member with the smallest summed distance, nearest-medoid
+ * scoring wants a min. For those, a cheap sound lower bound that
+ * already exceeds the cutoff proves the exact O(m*n) dynamic program
+ * could not have changed the answer — so it never runs.
+ *
+ * The cascade, cheapest first:
+ *
+ *  1. LB_Kim, O(1): every warp path visits the two corner cells
+ *     (0,0) and (m-1,n-1) and takes at least |m-n| asynchronous
+ *     steps, so
+ *
+ *         LB_Kim = |x_0-y_0| + |x_{m-1}-y_{n-1}| + |m-n| * p
+ *
+ *     (the second corner only when it is a distinct cell) is a lower
+ *     bound on the Eq. 3 distance.
+ *
+ *  2. LB_Keogh, O(m) against a precomputed Sakoe-Chiba envelope of
+ *     y at radius r (U_i / L_i = max / min of y over [i-r, i+r],
+ *     built with a monotonic deque in O(n)). A path either stays
+ *     within |i-j| <= r — then every interior row i pays at least
+ *     E_i = max(0, x_i - U_i, L_i - x_i) at its cheapest in-window
+ *     column, on top of the corners and |m-n| penalties — or it
+ *     leaves the band, which costs at least 2*(r+1) - |m-n|
+ *     penalties (the same exit argument dtwDistanceBanded's
+ *     exactness guard uses). The minimum of the two cases is sound:
+ *
+ *         LB_Keogh = corners + min(|m-n|*p + sum_i E_i,
+ *                                  (2*(r+1) - |m-n|) * p)
+ *
+ *     and the exit arm disappears when the band covers every cell.
+ *     LB_Kim <= LB_Keogh <= DTW holds structurally (for r >= |m-n|;
+ *     below that LB_Keogh degenerates to LB_Kim), which the property
+ *     suite asserts on random inputs.
+ *
+ *  3. dtwDistanceEarlyAbandon seeded with the cutoff: the exact DP,
+ *     abandoned once a whole row proves the result >= cutoff.
+ *
+ * Iron rule: the cascade only ever *skips* work whose result provably
+ * could not alter a strict-< comparison against the cutoff, so every
+ * consumer (kMedoidsCascade, streaming scoring, the anomaly pair
+ * search) produces bit-identical results to the plain kernels. The
+ * surviving DPs run the same dispatched kernel as dtwDistance and
+ * memoize, so no cell is ever computed twice.
+ */
+
+#ifndef RBV_CORE_MODEL_CASCADE_HH
+#define RBV_CORE_MODEL_CASCADE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/model/kmedoids.hh"
+#include "core/timeline.hh"
+#include "stats/rng.hh"
+
+namespace rbv::core {
+
+/**
+ * Conservative deflation applied to every lower bound before it is
+ * compared against a cutoff. The bounds are sound in real arithmetic,
+ * but their summation order differs from the DP's, so a computed
+ * bound can exceed the computed exact distance by a few ULPs on tight
+ * inputs; the margin (same idiom as the banded-DTW exactness guard)
+ * absorbs relative rounding error many orders of magnitude beyond
+ * what the series lengths here can accumulate, keeping every prune
+ * decision bit-safe.
+ */
+inline constexpr double LbPruneMargin = 0.999;
+
+/** Sakoe-Chiba min/max envelope of one series at a fixed radius. */
+struct SeriesEnvelope
+{
+    std::vector<double> lower; ///< L_i = min over [i-r, i+r].
+    std::vector<double> upper; ///< U_i = max over [i-r, i+r].
+    std::size_t radius = 0;
+};
+
+/**
+ * Build the envelope of @p s at @p radius with two monotonic-deque
+ * sweeps, O(n) amortized. Reuses @p out's storage.
+ */
+void buildEnvelope(const MetricSeries &s, std::size_t radius,
+                   SeriesEnvelope &out);
+
+/**
+ * O(1) corner + length-mismatch lower bound on
+ * dtwDistance(x, y, async_penalty). Equals the exact distance on
+ * empty inputs.
+ */
+double lbKim(const MetricSeries &x, const MetricSeries &y,
+             double async_penalty);
+
+/**
+ * O(|x|) envelope lower bound of x against @p env_y (the envelope of
+ * y). Sound for any radius; at least as tight as lbKim() when
+ * env_y.radius >= |m-n|, identical to it otherwise.
+ */
+double lbKeogh(const MetricSeries &x, const MetricSeries &y,
+               const SeriesEnvelope &env_y, double async_penalty);
+
+/** Where the cascade resolved its queries (per-instance tallies). */
+struct CascadeStats
+{
+    std::uint64_t lookups = 0;      ///< exact() + atMost() queries.
+    std::uint64_t memoHits = 0;     ///< Answered from the memo table.
+    std::uint64_t kimPrunes = 0;    ///< Rejected by LB_Kim.
+    std::uint64_t keoghPrunes = 0;  ///< Rejected by LB_Keogh.
+    std::uint64_t dpRuns = 0;       ///< Reached the exact DP.
+    std::uint64_t eaAbandons = 0;   ///< DP abandoned mid-flight.
+};
+
+/**
+ * Memoizing cascade oracle over a fixed set of series: per-series
+ * envelopes built up front, a packed n*(n-1)/2 memo of exact
+ * distances filled on demand, and the LB cascade answering
+ * bounded queries without running the DP when it can.
+ */
+class DistanceCascade
+{
+  public:
+    /**
+     * @param items         The series, by pointer (not copied; must
+     *                      outlive the cascade).
+     * @param n             Number of series.
+     * @param async_penalty Eq. 3 asynchrony penalty.
+     */
+    DistanceCascade(const MetricSeries *const *items, std::size_t n,
+                    double async_penalty);
+
+    std::size_t size() const { return count; }
+    double penalty() const { return asyncPenalty; }
+
+    /**
+     * Exact dtwDistance(items[i], items[j]), memoized. Bit-identical
+     * to calling the kernel directly.
+     */
+    double exact(std::size_t i, std::size_t j);
+
+    /**
+     * Bounded query: when the cascade proves
+     * d(i, j) >= cutoff, returns false and leaves @p d untouched —
+     * skipping the DP entirely when a lower bound suffices.
+     * Otherwise computes (and memoizes) the exact distance into
+     * @p d and returns true. A true result is always the exact,
+     * bit-identical distance; @p d may still be >= cutoff (the
+     * cascade is sound, not complete).
+     */
+    bool atMost(std::size_t i, std::size_t j, double cutoff,
+                double &d);
+
+    /**
+     * O(1) lower bound: the memoized exact value when known, LB_Kim
+     * deflated by LbPruneMargin otherwise. For sum-abandon checks in
+     * re-election loops.
+     */
+    double cheapLowerBound(std::size_t i, std::size_t j) const;
+
+    const CascadeStats &stats() const { return tallies; }
+
+  private:
+    double memoAt(std::size_t i, std::size_t j) const;
+    std::size_t packedIndex(std::size_t i, std::size_t j) const;
+
+    const MetricSeries *const *items;
+    std::size_t count;
+    double asyncPenalty;
+    std::vector<SeriesEnvelope> envelopes;
+    std::vector<double> memo; ///< NaN = unknown, packed upper tri.
+    CascadeStats tallies;
+};
+
+/**
+ * k-medoids over a DistanceCascade: the same algorithm, iteration
+ * count, strict-< tie-breaks and floating-point summation order as
+ * kMedoids() over a fully materialized DistanceMatrix — the result
+ * is bit-identical by construction, which the property suite pins —
+ * but assignment candidates and re-election sums are abandoned via
+ * the lower-bound cascade, so most pairwise DPs never run.
+ */
+Clustering kMedoidsCascade(DistanceCascade &dc, std::size_t k,
+                           stats::Rng &rng, std::size_t max_iter = 50);
+
+} // namespace rbv::core
+
+#endif // RBV_CORE_MODEL_CASCADE_HH

@@ -18,6 +18,7 @@
 
 #include "core/check.hh"
 #include "core/model/distance_scratch.hh"
+#include "core/model/dtw_simd.hh"
 #include "stats/summary.hh"
 #include "obs/obs.hh"
 
@@ -59,14 +60,17 @@ min3(double a, double b, double c)
 }
 
 /**
- * The full DTW recurrence over flat scratch rows. Identical
+ * Rolling-row DTW recurrence over flat scratch rows. Identical
  * arithmetic (operation-for-operation) to the historical rolling
  * vector version, so results are bit-identical; only the storage
- * changed. Requires m >= 1 and n >= 1.
+ * changed. Requires m >= 1 and n >= 1. Retained as the short-series
+ * kernel and as the dispatch-equivalence witness for the
+ * anti-diagonal kernels in dtw_simd.cc.
  */
 double
-dtwFull(const double *x, std::size_t m, const double *y, std::size_t n,
-        double async_penalty, DistanceScratch &scratch)
+dtwRolling(const double *x, std::size_t m, const double *y,
+           std::size_t n, double async_penalty,
+           DistanceScratch &scratch)
 {
     auto [prev, cur] = scratch.dtwRowPair(n);
 
@@ -86,6 +90,32 @@ dtwFull(const double *x, std::size_t m, const double *y, std::size_t n,
         std::swap(prev, cur);
     }
     return prev[n - 1];
+}
+
+/**
+ * Series long enough that the anti-diagonal restructuring pays for
+ * its wavefront staging. Below this the rolling-row kernel wins and
+ * the diagonals are too short for SIMD lanes anyway.
+ */
+constexpr std::size_t DiagKernelMinLen = 16;
+
+/**
+ * Full DTW with runtime kernel dispatch. All three kernels compute
+ * the identical operand set per cell (see dtw_simd.hh), so which one
+ * runs is invisible in the result bits — only in the wall clock.
+ */
+double
+dtwFull(const double *x, std::size_t m, const double *y, std::size_t n,
+        double async_penalty, DistanceScratch &scratch)
+{
+    if (std::min(m, n) >= DiagKernelMinLen) {
+        if (detail::dtwAvx2Available())
+            return detail::dtwDiagAvx2(x, m, y, n, async_penalty,
+                                       scratch);
+        return detail::dtwDiagScalar(x, m, y, n, async_penalty,
+                                     scratch);
+    }
+    return dtwRolling(x, m, y, n, async_penalty, scratch);
 }
 
 } // namespace
@@ -158,6 +188,59 @@ dtwDistanceBanded(const MetricSeries &x, const MetricSeries &y,
             RBV_COUNT(ModelDtwBandSkips, 1);
             return dtwFull(x.data(), m, y.data(), n, async_penalty,
                            scratch);
+        }
+    }
+
+    // Greedy in-band upper-bound probe, O(m+n) with early bail: walk
+    // one monotone in-band warp path, always taking the locally
+    // cheapest step, and stop as soon as the accumulated cost
+    // exceeds the certification threshold. If the probe finishes at
+    // or below it, the banded optimum certifies a fortiori (it can
+    // only be cheaper than this one path), so the band DP is
+    // guaranteed to pay off. Otherwise the band is a gamble this
+    // kernel no longer takes: it goes straight to the full kernel
+    // instead of risking the pre-PR double-work regression
+    // (BENCH_distance.json once showed banded 826 µs vs full 810 µs
+    // at len 512 for exactly this reason).
+    {
+        const double *xs = x.data(), *ys = y.data();
+        double acc = std::abs(xs[0] - ys[0]);
+        std::size_t i = 0, j = 0;
+        while ((i + 1 < m || j + 1 < n) && acc <= cert) {
+            double step = Inf;
+            int dir = 0;
+            if (i + 1 < m && j + 1 < n) {
+                step = std::abs(xs[i + 1] - ys[j + 1]);
+                dir = 3;
+            }
+            // Down/right successors only while they stay in band
+            // (the forced edge moves at the end always do, because
+            // the end cell itself is in band).
+            if (i + 1 < m && i + 1 <= j + band) {
+                const double c =
+                    async_penalty + std::abs(xs[i + 1] - ys[j]);
+                if (c < step) {
+                    step = c;
+                    dir = 1;
+                }
+            }
+            if (j + 1 < n && j + 1 <= i + band) {
+                const double c =
+                    async_penalty + std::abs(xs[i] - ys[j + 1]);
+                if (c < step) {
+                    step = c;
+                    dir = 2;
+                }
+            }
+            acc += step;
+            if (dir != 2)
+                ++i;
+            if (dir != 1)
+                ++j;
+        }
+        if (acc > cert) {
+            RBV_COUNT(ModelDtwBandSkips, 1);
+            return dtwFull(xs, m, ys, n, async_penalty, scratch);
         }
     }
 

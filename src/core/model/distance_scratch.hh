@@ -56,6 +56,15 @@ struct DistanceScratch
     std::vector<os::Sys> subA;
     std::vector<os::Sys> subB;
 
+    /** Three anti-diagonal wavefront rows (3 * rowLen, dtw_simd). */
+    std::vector<double> diagRows;
+
+    /** Reversed copy of y for the anti-diagonal kernels. */
+    std::vector<double> yRevStage;
+
+    /** Query-side prefix-sum staging for the signature-bank prune. */
+    std::vector<double> sigPrefix;
+
     /**
      * The two DTW rows as raw pointers: element [0] and [rowLen] of
      * one grown flat buffer, so both rows come from one allocation
@@ -67,6 +76,27 @@ struct DistanceScratch
         if (dtwRows.size() < 2 * row_len)
             dtwRows.resize(2 * row_len);
         return {dtwRows.data(), dtwRows.data() + row_len};
+    }
+
+    /**
+     * Three anti-diagonal wavefront rows as one flat buffer of
+     * 3 * row_len doubles (see dtw_simd.cc for the layout).
+     */
+    double *
+    diagTriple(std::size_t row_len)
+    {
+        if (diagRows.size() < 3 * row_len)
+            diagRows.resize(3 * row_len);
+        return diagRows.data();
+    }
+
+    /** Staging buffer for the reversed second series. */
+    double *
+    yRevBuf(std::size_t n)
+    {
+        if (yRevStage.size() < n)
+            yRevStage.resize(n);
+        return yRevStage.data();
     }
 
     /** The two Levenshtein DP rows, same layout as dtwRowPair(). */

@@ -31,24 +31,34 @@ parallelFor(std::size_t count, int jobs,
         return;
     }
 
-    // Dynamic index claiming: rows near the top of the triangle are
-    // much longer than rows near the bottom, so static slicing would
-    // leave workers idle. Each worker grabs the next unclaimed index.
-    // Indices are disjoint, so no two workers ever write the same
-    // cells; the caller's fn must be pure in the index, which the
-    // distance kernels are (per-thread scratch arenas, no shared
-    // mutable state).
+    // Chunked dynamic claiming: rows near the top of the triangle
+    // are much longer than rows near the bottom, so static slicing
+    // would leave workers idle — but claiming one index per atomic
+    // op serializes workers on the cursor cache line when fn is
+    // cheap (BENCH_distance.json once recorded the parallel matrix
+    // build at 0.95x serial for exactly that reason). Workers now
+    // steal a stripe of consecutive indices per claim: few enough
+    // stripes per worker to keep the tail balanced, few enough
+    // atomic ops to stay off each other's cache lines. Indices stay
+    // disjoint and every index runs exactly once, so the caller's
+    // purity contract keeps results byte-identical at any thread
+    // count, exactly as before.
+    const std::size_t chunk =
+        std::max<std::size_t>(1, count / (workers * 8));
     std::atomic<std::size_t> cursor{0};
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
         pool.emplace_back([&]() {
             for (;;) {
-                const std::size_t i =
-                    cursor.fetch_add(1, std::memory_order_relaxed);
-                if (i >= count)
+                const std::size_t start = cursor.fetch_add(
+                    chunk, std::memory_order_relaxed);
+                if (start >= count)
                     return;
-                fn(i);
+                const std::size_t stop =
+                    std::min(count, start + chunk);
+                for (std::size_t i = start; i < stop; ++i)
+                    fn(i);
             }
         });
     }
@@ -132,9 +142,21 @@ kMedoids(const DistanceMatrix &dm, std::size_t k, stats::Rng &rng,
             double best_cost = std::numeric_limits<double>::infinity();
             for (const std::size_t i : members[c]) {
                 double cost = 0.0;
-                for (const std::size_t j : members[c])
+                bool viable = true;
+                for (const std::size_t j : members[c]) {
+                    // Sum-abandon: terms are nonnegative and the
+                    // incumbent only falls to a strictly smaller
+                    // full sum, so once the partial sum reaches
+                    // best_cost this candidate is out — and
+                    // best_cost still only ever holds fully-summed
+                    // values, keeping the elected medoid identical.
+                    if (cost >= best_cost) {
+                        viable = false;
+                        break;
+                    }
                     cost += dm.at(i, j);
-                if (cost < best_cost) {
+                }
+                if (viable && cost < best_cost) {
                     best_cost = cost;
                     best = i;
                 }

@@ -8,10 +8,25 @@
 #include <cmath>
 #include <limits>
 
+#include "core/model/distance_scratch.hh"
 #include "stats/summary.hh"
 #include "obs/obs.hh"
 
 namespace rbv::core {
+
+namespace {
+
+/** Rebuild an entry's |value| prefix sums after its series changed. */
+void
+refreshAbsPrefix(SignatureBank::Entry &e)
+{
+    e.absPrefix.resize(e.series.size() + 1);
+    e.absPrefix[0] = 0.0;
+    for (std::size_t k = 0; k < e.series.size(); ++k)
+        e.absPrefix[k + 1] = e.absPrefix[k] + std::abs(e.series[k]);
+}
+
+} // namespace
 
 void
 SignatureBank::add(MetricSeries series, double cpu_cycles, int class_id)
@@ -21,6 +36,7 @@ SignatureBank::add(MetricSeries series, double cpu_cycles, int class_id)
     e.series = std::move(series);
     e.cpuCycles = cpu_cycles;
     e.classId = class_id;
+    refreshAbsPrefix(e);
     entries.push_back(std::move(e));
 }
 
@@ -33,6 +49,7 @@ SignatureBank::replaceEntry(std::size_t i, MetricSeries series,
     e.series = std::move(series);
     e.cpuCycles = cpu_cycles;
     e.classId = class_id;
+    refreshAbsPrefix(e);
 }
 
 SignatureBank::Match
@@ -41,20 +58,48 @@ SignatureBank::matchPartial(const MetricSeries &partial) const
     Match m;
     m.bestD = std::numeric_limits<double>::infinity();
     m.secondD = std::numeric_limits<double>::infinity();
+    const std::size_t plen = partial.size();
+    const double norm = static_cast<double>(plen);
+
+    // Query-side |value| prefix sums, once per call: with them and
+    // the per-entry caches, ||PP| - |SS|| / plen plus the exact tail
+    // term is an O(1) lower bound on each entry's distance (per-bin
+    // ||p|-|s|| <= |p-s|, summed). An entry whose bound reaches the
+    // current runner-up cannot change the best or the runner-up —
+    // both only fall to strictly smaller values — so it is skipped
+    // whole. The 0.999 margin keeps the comparison conservative
+    // against summation rounding, same idiom as the banded-DTW
+    // guard; match results are bit-identical to the plain scan.
+    auto &pp = threadDistanceScratch().sigPrefix;
+    pp.resize(plen + 1);
+    pp[0] = 0.0;
+    for (std::size_t k = 0; k < plen; ++k)
+        pp[k + 1] = pp[k] + std::abs(partial[k]);
+
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const auto &sig = entries[i].series;
-        const std::size_t common = std::min(partial.size(), sig.size());
+        const std::size_t common = std::min(plen, sig.size());
+        if (std::isfinite(m.secondD)) {
+            const double lb =
+                (std::abs(pp[common] - entries[i].absPrefix[common]) +
+                 (pp[plen] - pp[common])) /
+                norm;
+            if (lb * 0.999 >= m.secondD) {
+                RBV_COUNT(ModelSigPrefixPrunes, 1);
+                continue;
+            }
+        }
         double d = 0.0;
         for (std::size_t k = 0; k < common; ++k)
             d += std::abs(partial[k] - sig[k]);
         // A signature shorter than the observed prefix means the bank
         // request already ended; penalize the unmatched observed bins
         // by their own magnitude (the signature "has nothing there").
-        for (std::size_t k = common; k < partial.size(); ++k)
+        for (std::size_t k = common; k < plen; ++k)
             d += std::abs(partial[k]);
         // Normalize by compared length to avoid favoring short
         // signatures.
-        d /= static_cast<double>(partial.size());
+        d /= norm;
         if (d < m.bestD) {
             m.secondD = m.bestD;
             m.bestD = d;

@@ -36,6 +36,13 @@ class SignatureBank
         double avgMetric = 0.0;///< Average-value signature ([27]).
         double cpuCycles = 0.0;///< The request's total CPU cycles.
         int classId = 0;       ///< Ground-truth class (evaluation).
+
+        /**
+         * absPrefix[k] = sum of |series[t]| for t < k, maintained by
+         * add()/replaceEntry(). Feeds the matchPartial() lower-bound
+         * prune; never part of the entry's identity.
+         */
+        std::vector<double> absPrefix;
     };
 
     /**

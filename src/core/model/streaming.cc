@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "core/model/distance.hh"
+#include "obs/obs.hh"
 
 namespace rbv::core {
 
@@ -90,47 +91,84 @@ StreamingClusterModel::recluster()
     for (std::size_t i = 0; i < s; ++i)
         sample[i] = window[idx[i]];
 
-    const DistanceMatrix dm = DistanceMatrix::build(
-        s,
-        [&](std::size_t i, std::size_t j) {
-            return dtwDistance(*sample[i], *sample[j],
-                               cfg.asyncPenalty);
-        },
-        cfg.jobs);
-    lastClustering = kMedoids(dm, cfg.k, rng);
+    // Cascade path: bit-identical to the historical
+    // DistanceMatrix::build + kMedoids pair (the streaming-vs-batch
+    // equivalence tests pin this), but most pairwise DPs are pruned
+    // by the lower-bound cascade instead of computed.
+    DistanceCascade dc(sample.data(), s, cfg.asyncPenalty);
+    lastClustering = kMedoidsCascade(dc, cfg.k, rng);
 
     meds.clear();
     meds.reserve(lastClustering.medoids.size());
     for (const std::size_t m : lastClustering.medoids)
         meds.push_back(*sample[m]);
+
+    // Envelopes for the per-request scoring cascade. The radius only
+    // tunes prune rates; scoring results never depend on it.
+    medEnvs.resize(meds.size());
+    for (std::size_t i = 0; i < meds.size(); ++i)
+        buildEnvelope(meds[i],
+                      std::max<std::size_t>(1, meds[i].size() / 8),
+                      medEnvs[i]);
     ++reclusters;
 }
 
-double
-StreamingClusterModel::scoreOf(const MetricSeries &series) const
-{
-    double best = std::numeric_limits<double>::infinity();
-    for (const auto &m : meds) {
-        const double d = dtwDistance(series, m, cfg.asyncPenalty);
-        if (d < best)
-            best = d;
-    }
-    return best;
-}
+namespace {
 
+/**
+ * Nearest-medoid min/argmin with the LB cascade. A medoid is skipped
+ * only when a sound lower bound (or the abandoned DP) proves its
+ * distance >= the incumbent best, and the incumbent only falls to a
+ * strictly smaller exact value — so the returned index and distance
+ * are bit-identical to the plain scan over dtwDistance().
+ */
 std::size_t
-StreamingClusterModel::nearestMedoid(const MetricSeries &series) const
+nearestByCascade(const MetricSeries &series,
+                 const std::vector<MetricSeries> &meds,
+                 const std::vector<SeriesEnvelope> &envs, double p,
+                 double &best_d)
 {
-    std::size_t best = npos;
-    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best = ~std::size_t{0};
+    best_d = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < meds.size(); ++i) {
-        const double d = dtwDistance(series, meds[i], cfg.asyncPenalty);
+        if (std::isfinite(best_d)) {
+            if (lbKim(series, meds[i], p) * LbPruneMargin >= best_d) {
+                RBV_COUNT(ModelLbKimPrunes, 1);
+                continue;
+            }
+            if (lbKeogh(series, meds[i], envs[i], p) * LbPruneMargin >=
+                best_d) {
+                RBV_COUNT(ModelLbKeoghPrunes, 1);
+                continue;
+            }
+        }
+        RBV_COUNT(ModelCascadeDpRuns, 1);
+        const double d =
+            dtwDistanceEarlyAbandon(series, meds[i], p, best_d);
         if (d < best_d) {
             best_d = d;
             best = i;
         }
     }
     return best;
+}
+
+} // namespace
+
+double
+StreamingClusterModel::scoreOf(const MetricSeries &series) const
+{
+    double best;
+    nearestByCascade(series, meds, medEnvs, cfg.asyncPenalty, best);
+    return best;
+}
+
+std::size_t
+StreamingClusterModel::nearestMedoid(const MetricSeries &series) const
+{
+    double best_d;
+    return nearestByCascade(series, meds, medEnvs, cfg.asyncPenalty,
+                            best_d);
 }
 
 void

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/model/anomaly.hh"
+#include "core/model/cascade.hh"
 #include "core/model/kmedoids.hh"
 #include "core/model/signature.hh"
 #include "core/timeline.hh"
@@ -155,6 +156,8 @@ class StreamingClusterModel
     std::size_t reclusters = 0;
 
     std::vector<MetricSeries> meds;
+    /** Envelope per medoid, for the scoring-path LB cascade. */
+    std::vector<SeriesEnvelope> medEnvs;
     Clustering lastClustering;
 };
 

@@ -67,6 +67,14 @@ counterName(Counter c)
         return "model.lev_dp_fallbacks";
       case Counter::ModelDtwBandSkips:
         return "model.dtw_band_skips";
+      case Counter::ModelLbKimPrunes:
+        return "model.lb_kim_prunes";
+      case Counter::ModelLbKeoghPrunes:
+        return "model.lb_keogh_prunes";
+      case Counter::ModelCascadeDpRuns:
+        return "model.cascade_dp_runs";
+      case Counter::ModelSigPrefixPrunes:
+        return "model.sig_prefix_prunes";
       case Counter::WlArrivals:
         return "wl.arrivals";
       case Counter::WlShedRequests:

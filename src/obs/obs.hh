@@ -92,6 +92,10 @@ enum class Counter : std::uint16_t
     ModelLevBitParallel,
     ModelLevDpFallbacks,
     ModelDtwBandSkips,
+    ModelLbKimPrunes,
+    ModelLbKeoghPrunes,
+    ModelCascadeDpRuns,
+    ModelSigPrefixPrunes,
     WlArrivals,
     WlShedRequests,
     OsRequestSlotsRecycled,
